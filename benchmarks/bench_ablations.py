@@ -1,0 +1,64 @@
+"""Ablations on CommGuard's design choices (DESIGN.md §5 extension).
+
+Not paper figures — these isolate the mechanism: which error class
+CommGuard repairs, how sensitive results are to the masking calibration,
+and the QM working-set size trade-off.
+"""
+
+from repro.experiments import ablations
+from repro.machine.protection import ProtectionLevel
+
+
+def test_error_class_decomposition(benchmark, jpeg_runner):
+    cells = benchmark.pedantic(
+        lambda: ablations.error_class_decomposition(
+            mtbe=400_000, n_seeds=2, runner=jpeg_runner
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = {(c.error_class, c.protection): c.mean_quality_db for c in cells}
+    print()
+    for (cls, level), q in sorted(table.items(), key=lambda kv: kv[0][0]):
+        print(f"  {cls:14s} {level.value:22s} {q:6.1f} dB")
+    # Control-flow errors are the class only CommGuard repairs.
+    assert (
+        table[("control-only", ProtectionLevel.COMMGUARD)]
+        > table[("control-only", ProtectionLevel.PPU_RELIABLE_QUEUE)]
+    )
+    # Data errors are tolerable everywhere: no protection gap demanded.
+    assert table[("data-only", ProtectionLevel.COMMGUARD)] > 15.0
+    # Address errors wreck the corruptible software queue the most.
+    assert (
+        table[("address-only", ProtectionLevel.COMMGUARD)]
+        >= table[("address-only", ProtectionLevel.PPU_ONLY)] - 0.5
+    )
+
+
+def test_masking_sensitivity(benchmark, jpeg_runner):
+    results = benchmark.pedantic(
+        lambda: ablations.masking_sensitivity(
+            mtbe=256_000, n_seeds=2, runner=jpeg_runner
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for p, q in results.items():
+        print(f"  p_masked={p:4.2f}  PSNR {q:6.1f} dB")
+    rates = sorted(results)
+    assert results[rates[0]] <= results[rates[-1]] + 0.5  # more masking, better
+
+
+def test_workset_size_overhead(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: ablations.workset_size_overhead(runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for units, ratio in results.items():
+        print(f"  workset={units:5d}  ECC ops/instr = {ratio:.5f}")
+    sizes = sorted(results)
+    # Bigger working sets amortize shared-pointer ECC work.
+    assert results[sizes[-1]] <= results[sizes[0]]

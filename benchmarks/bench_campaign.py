@@ -1,0 +1,31 @@
+"""Fault-injection outcome campaign (extension of the paper's Fig. 3 story).
+
+Buckets many seeded runs per protection level into error-free / tolerable /
+degraded / catastrophic outcomes — the distributional form of the paper's
+claim that CommGuard converts catastrophic failures into tolerable ones.
+"""
+
+from repro.experiments.campaign import Outcome, compare_protections
+from repro.machine.protection import ProtectionLevel
+
+
+def test_outcome_campaign(benchmark, jpeg_runner):
+    results = benchmark.pedantic(
+        lambda: compare_protections(
+            "jpeg", mtbe=300_000, n_runs=5, runner=jpeg_runner
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for protection, campaign in results.items():
+        dist = "  ".join(
+            f"{o.value}:{campaign.fraction(o):.0%}" for o in Outcome
+        )
+        print(f"  {protection.value:22s} {dist}  mean {campaign.mean_quality():.1f} dB")
+    guarded = results[ProtectionLevel.COMMGUARD]
+    baseline = results[ProtectionLevel.PPU_RELIABLE_QUEUE]
+    assert guarded.mean_quality() > baseline.mean_quality()
+    assert guarded.fraction(Outcome.CATASTROPHIC) <= baseline.fraction(
+        Outcome.CATASTROPHIC
+    )

@@ -1,0 +1,37 @@
+"""Figure 3: jpeg under the four protection mechanisms.
+
+The benchmark image is smaller than the paper's, so the MTBE is lowered to
+250k instructions to land a comparable number of errors per run (the paper
+used MTBE = 1M on a run ~15x longer).
+
+Expected shape (paper): error-free sets the lossy baseline; the PPU-only
+and reliable-queue baselines collapse to garbage; CommGuard stays within a
+few dB of the baseline.
+"""
+
+from repro.experiments import fig03_motivation
+from repro.machine.protection import ProtectionLevel
+
+
+def test_fig03_motivation(benchmark, jpeg_runner):
+    rows = benchmark.pedantic(
+        lambda: fig03_motivation.run(
+            mtbe=250_000, n_seeds=3, runner=jpeg_runner
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_level = {r.protection: r.mean_psnr for r in rows}
+    print()
+    print(fig03_motivation.format_table(
+        ["configuration", "mean PSNR (dB)"],
+        [[fig03_motivation.PAPER_LABELS[r.protection], r.mean_psnr] for r in rows],
+    ))
+    # Paper's ordering: CommGuard well above both error-prone baselines,
+    # error-free above everything.
+    assert by_level[ProtectionLevel.ERROR_FREE] >= by_level[ProtectionLevel.COMMGUARD]
+    assert (
+        by_level[ProtectionLevel.COMMGUARD]
+        > by_level[ProtectionLevel.PPU_RELIABLE_QUEUE]
+    )
+    assert by_level[ProtectionLevel.COMMGUARD] > by_level[ProtectionLevel.PPU_ONLY]

@@ -1,0 +1,24 @@
+"""Figure 7: example jpeg run with CommGuard at MTBE = 512k.
+
+Paper: the full image decodes with 16 padding/discard operations and PSNR
+20.2 dB; realignment confines each misalignment to its 8-pixel block row.
+"""
+
+from repro.experiments import fig07_example
+
+
+def test_fig07_pad_discard(benchmark, jpeg_runner):
+    result = benchmark.pedantic(
+        lambda: fig07_example.run(mtbe=512_000, seed=0, runner=jpeg_runner),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"PSNR: {result.psnr_db:.1f} dB (paper: 20.2 dB)")
+    print(
+        f"pad episodes: {result.pad_events}, discard episodes: "
+        f"{result.discard_events} (paper: 16 operations total)"
+    )
+    baseline = jpeg_runner.app("jpeg").baseline_quality()
+    assert 10.0 < result.psnr_db <= baseline
+    assert result.errors_injected > 0

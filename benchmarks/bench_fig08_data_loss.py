@@ -1,0 +1,34 @@
+"""Figure 8: lost/accepted data ratio vs MTBE across all six apps.
+
+Paper: loss stays below 0.2% for MTBE >= 512k; jpeg loses the most (lowest
+frame/item ratio); loss falls as MTBE grows.
+"""
+
+from repro.apps.registry import APP_ORDER
+from repro.experiments import fig08_data_loss
+from repro.experiments.report import format_table
+
+LADDER = (64_000, 256_000, 1_024_000)
+
+
+def test_fig08_data_loss(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: fig08_data_loss.run(
+            n_seeds=2, apps=APP_ORDER, ladder=LADDER, runner=runner
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    headers = ["app"] + [f"{m // 1000}k" for m in LADDER]
+    print(
+        format_table(
+            headers,
+            [[app] + [series[m] for m in LADDER] for app, series in results.items()],
+        )
+    )
+    for app, series in results.items():
+        for mtbe, ratio in series.items():
+            assert 0.0 <= ratio < 0.05, (app, mtbe, ratio)
+        # Loss shrinks (weakly) as errors get rarer.
+        assert series[LADDER[-1]] <= series[LADDER[0]] + 1e-6, app

@@ -1,0 +1,39 @@
+"""Figure 9: jpeg PSNR ladder at MTBE 128k / 512k / 2048k / 8192k.
+
+Paper: 14.7 / 18.6 / 28.6 / 35.6 dB (error-free baseline 35.6 dB) — quality
+degrades gracefully as errors get more frequent, and the image stays
+recognizable even at extreme rates.
+"""
+
+from repro.experiments import fig09_jpeg_ladder
+from repro.experiments.report import db_or_errorfree, format_table
+
+
+def test_fig09_jpeg_psnr_ladder(benchmark, jpeg_runner):
+    results = benchmark.pedantic(
+        lambda: fig09_jpeg_ladder.run(n_seeds=2, runner=jpeg_runner),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = jpeg_runner.app("jpeg").baseline_quality()
+    print()
+    print(f"error-free baseline: {baseline:.1f} dB (paper: 35.6 dB)")
+    print(
+        format_table(
+            ["MTBE", "measured", "paper"],
+            [
+                [
+                    f"{m // 1000}k",
+                    db_or_errorfree(v, cap=baseline),
+                    fig09_jpeg_ladder.PAPER_PSNR[m],
+                ]
+                for m, v in results.items()
+            ],
+        )
+    )
+    ladder = sorted(results)
+    values = [results[m] for m in ladder]
+    # Monotone quality improvement with MTBE, reaching the baseline.
+    assert values == sorted(values)
+    assert values[-1] >= baseline - 1.0
+    assert values[0] < baseline - 5.0

@@ -1,0 +1,36 @@
+"""Figure 10: jpeg PSNR and mp3 SNR vs MTBE, with mp3 frame-size scaling.
+
+Paper anchors: at MTBE 512k jpeg holds 20 dB (baseline 35.6) and mp3 7.6 dB
+(baseline 9.4); quality converges to the baseline as MTBE grows.
+"""
+
+from repro.experiments import fig10_quality
+from repro.experiments.report import format_table
+
+LADDER = (128_000, 512_000, 2_048_000)
+
+
+def test_fig10_quality(benchmark, jpeg_runner):
+    results = benchmark.pedantic(
+        lambda: fig10_quality.run(
+            n_seeds=2,
+            ladder=LADDER,
+            mp3_frame_scales=(1, 4),
+            runner=jpeg_runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for app, points in results.items():
+        baseline = jpeg_runner.app(app).baseline_quality()
+        print(f"{app} (error-free baseline {baseline:.1f} dB):")
+        rows = [
+            [f"{p.mtbe // 1000}k", f"{p.frame_scale}x", p.mean_db, p.stdev_db]
+            for p in points
+        ]
+        print(format_table(["MTBE", "frames", "mean dB", "stdev"], rows))
+    jpeg_points = {p.mtbe: p.mean_db for p in results["jpeg"]}
+    assert jpeg_points[128_000] < jpeg_points[2_048_000]
+    mp3_default = [p for p in results["mp3"] if p.frame_scale == 1]
+    assert mp3_default[0].mean_db <= mp3_default[-1].mean_db + 0.5

@@ -1,0 +1,31 @@
+"""Figure 12: header traffic as a fraction of all loads/stores.
+
+Paper: geometric mean below 0.2%; worst case audiobeamformer (0.66% loads /
+0.75% stores) because its frames are one item.
+"""
+
+from repro.experiments import fig12_memory_overhead
+from repro.experiments.report import format_table
+
+
+def test_fig12_memory_overhead(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: fig12_memory_overhead.run(runner=runner), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["app", "loads %", "stores %"],
+            [[a, 100 * l, 100 * s] for a, (l, s) in results.items()],
+        )
+    )
+    gmean_loads, gmean_stores = results["GMean"]
+    assert gmean_loads < 0.01  # < 1%
+    assert gmean_stores < 0.01
+    # audiobeamformer is the worst of the six (paper's observation).
+    worst = max(
+        (a for a in results if a != "GMean"), key=lambda a: results[a][0]
+    )
+    assert worst in ("audiobeamformer", "channelvocoder", "complex-fir")
+    for app, (loads, stores) in results.items():
+        assert 0.0 <= loads < 0.05 and 0.0 <= stores < 0.05, app

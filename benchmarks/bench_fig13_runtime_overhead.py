@@ -1,0 +1,32 @@
+"""Figure 13: CommGuard execution-time overhead, frame sizes 1x..8x.
+
+Paper: mean overhead ~1%, worst (audiobeamformer/complex-fir) < 4%,
+decreasing slightly with larger frames.
+"""
+
+from repro.experiments import fig13_runtime_overhead
+from repro.experiments.report import format_table
+from repro.experiments.sweeps import FRAME_SCALES
+
+
+def test_fig13_runtime_overhead(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: fig13_runtime_overhead.run(frame_scales=FRAME_SCALES, runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["app"] + [f"{fs}x %" for fs in FRAME_SCALES],
+            [
+                [app] + [100 * series[fs] for fs in FRAME_SCALES]
+                for app, series in results.items()
+            ],
+        )
+    )
+    gmean = results["GMean"]
+    assert 0.0 < gmean[1] < 0.05  # mean overhead in the paper's few-% range
+    for app, series in results.items():
+        assert series[8] <= series[1], app  # larger frames -> lower overhead
+        assert series[1] < 0.15, app

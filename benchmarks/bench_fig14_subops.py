@@ -1,0 +1,33 @@
+"""Figure 14: CommGuard suboperations relative to committed instructions.
+
+Paper: GMean total ~2%, worst case 4.9% (audiobeamformer); the header-bit
+check is the most frequent operation class, ECC the most expensive per op
+but rare.
+"""
+
+from repro.experiments import fig14_subops
+from repro.experiments.report import format_table
+
+
+def test_fig14_subops(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: fig14_subops.run(runner=runner), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["app"] + [f"{s} %" for s in fig14_subops.SERIES],
+            [
+                [app] + [100 * ratios[s] for s in fig14_subops.SERIES]
+                for app, ratios in results.items()
+            ],
+        )
+    )
+    gmean = results["GMean"]
+    assert gmean["total"] < 0.10  # CommGuard work is a small fraction
+    for app, ratios in results.items():
+        assert ratios["total"] >= ratios["header_bit"], app
+        assert ratios["total"] < 0.25, app
+    # Header-bit checks dominate ECC for the high-rate apps (paper's shape).
+    assert results["jpeg"]["header_bit"] > results["jpeg"]["ecc"]
+    assert results["fft"]["header_bit"] > results["fft"]["ecc"]

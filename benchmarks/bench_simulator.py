@@ -1,0 +1,69 @@
+"""Simulator micro-benchmarks: raw machinery throughput.
+
+Not a paper figure — these time the substrate itself (queue operations, AM
+pop path, a small end-to-end run) so performance regressions in the hot
+paths are visible.
+"""
+
+from repro.core.alignment_manager import AlignmentManager
+from repro.core.header import header_unit, item_unit
+from repro.core.queue_manager import GuardedQueue, QueueGeometry
+from repro.core.stats import CommGuardStats
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+
+
+def test_guarded_queue_throughput(benchmark):
+    def push_pop_4096():
+        queue = GuardedQueue(0, QueueGeometry(workset_units=64, capacity_units=8192))
+        stats = CommGuardStats()
+        for i in range(4096):
+            queue.push_unit(item_unit(i), stats)
+        queue.flush(stats)
+        total = 0
+        for _ in range(4096):
+            total += queue.pop_unit(stats)
+        return total
+
+    assert benchmark(push_pop_4096) == sum(range(4096))
+
+
+def test_alignment_manager_pop_path(benchmark):
+    def aligned_pops():
+        stats = CommGuardStats()
+        queue = GuardedQueue(0, QueueGeometry(workset_units=64, capacity_units=8192))
+        am = AlignmentManager(queue, stats)
+        feeder = CommGuardStats()
+        for frame in range(16):
+            queue.push_unit(header_unit(frame), feeder)
+            for i in range(128):
+                queue.push_unit(item_unit(i), feeder)
+        queue.flush(feeder)
+        total = 0
+        for frame in range(16):
+            am.on_new_frame_computation(frame)
+            for _ in range(128):
+                total += am.pop(frame)
+        return total
+
+    assert benchmark(aligned_pops) == 16 * sum(range(128))
+
+
+def test_end_to_end_pipeline_run(benchmark):
+    graph = pipeline(
+        [
+            IntSource("src", list(range(2048)), rate=4),
+            Identity("mid", rate=4),
+            IntSink("snk", rate=4),
+        ]
+    )
+    program = StreamProgram.compile(graph)
+
+    def run():
+        return run_program(program, ProtectionLevel.COMMGUARD, mtbe=50_000, seed=1)
+
+    result = benchmark(run)
+    assert len(result.outputs["snk"]) == 2048

@@ -1,0 +1,28 @@
+"""Shared fixtures for the per-figure benchmark harnesses.
+
+Each benchmark regenerates one table/figure of the paper at a reduced scale
+(so the whole suite finishes in minutes) and prints the same rows/series
+the paper reports.  EXPERIMENTS.md records full-scale paper-vs-measured
+numbers.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationRunner
+
+#: Reduced input scale for benchmark runs.
+BENCH_SCALE = 0.25
+#: Seeds per point (paper uses 5; benches use fewer for runtime).
+BENCH_SEEDS = 2
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared app cache across all benchmarks."""
+    return SimulationRunner(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def jpeg_runner():
+    """Larger jpeg instance for the figures that need error drama."""
+    return SimulationRunner(scale=1.0)

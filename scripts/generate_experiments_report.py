@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the measured numbers quoted in EXPERIMENTS.md.
+
+Runs every figure/table harness at the recorded scales and writes the
+formatted outputs to ``scripts/experiment_outputs/``.  Takes ~10 minutes.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    fig03_motivation,
+    fig07_example,
+    fig08_data_loss,
+    fig09_jpeg_ladder,
+    fig10_quality,
+    fig11_quality_others,
+    fig12_memory_overhead,
+    fig13_runtime_overhead,
+    fig14_subops,
+    tables,
+)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "experiment_outputs"
+
+JOBS = [
+    ("tables", lambda: tables.main()),
+    ("fig03", lambda: fig03_motivation.main(scale=2.0, n_seeds=3)),
+    ("fig07", lambda: fig07_example.main(scale=2.0)),
+    ("fig09", lambda: fig09_jpeg_ladder.main(scale=2.0, n_seeds=3)),
+    ("fig12", lambda: fig12_memory_overhead.main(scale=0.5)),
+    ("fig13", lambda: fig13_runtime_overhead.main(scale=0.5)),
+    ("fig14", lambda: fig14_subops.main(scale=0.5)),
+    ("fig08", lambda: fig08_data_loss.main(scale=0.5, n_seeds=3)),
+    ("fig10", lambda: fig10_quality.main(scale=1.0, n_seeds=3)),
+    ("fig11", lambda: fig11_quality_others.main(scale=0.5, n_seeds=3)),
+]
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    selected = sys.argv[1:] or [name for name, _ in JOBS]
+    for name, job in JOBS:
+        if name not in selected:
+            continue
+        start = time.time()
+        text = job()
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"[{name}] done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""CommGuard reproduction library.
+
+Reproduction of "CommGuard: Mitigating Communication Errors in Error-Prone
+Parallel Execution" (Yetim, Malik, Martonosi — ASPLOS 2015).
+
+Public layers:
+
+* :mod:`repro.streamit` — StreamIt-like streaming-dataflow substrate
+  (filters, graphs, SDF scheduling, frame analysis, partitioning).
+* :mod:`repro.machine` — multicore PPU simulator with architectural error
+  injection and the baseline queue backends.
+* :mod:`repro.core` — the CommGuard modules themselves (HI/AM/QM, the
+  Table 1 FSM, SEC-DED ECC, suboperation accounting).
+* :mod:`repro.apps` — the six StreamIt benchmarks of the evaluation.
+* :mod:`repro.quality` — SNR/PSNR metrics and synthetic media inputs.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quick start::
+
+    from repro import ProtectionLevel, run_program
+    from repro.apps import build_fft_app
+
+    app = build_fft_app(n_frames=32)
+    result = run_program(app.program, ProtectionLevel.COMMGUARD, mtbe=512_000)
+    print(result.data_loss_ratio())
+"""
+
+from repro.core import CommGuard, CommGuardConfig
+from repro.machine import (
+    ErrorModel,
+    MulticoreSystem,
+    ProtectionLevel,
+    RunResult,
+    SystemConfig,
+    run_program,
+)
+from repro.quality import psnr_db, snr_db
+from repro.streamit import StreamGraph, StreamProgram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommGuard",
+    "CommGuardConfig",
+    "ErrorModel",
+    "MulticoreSystem",
+    "ProtectionLevel",
+    "RunResult",
+    "StreamGraph",
+    "StreamProgram",
+    "SystemConfig",
+    "psnr_db",
+    "run_program",
+    "snr_db",
+    "__version__",
+]

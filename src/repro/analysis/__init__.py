@@ -1,0 +1,20 @@
+"""Analytical models over guarded stream programs.
+
+Section 9 of the paper sketches, as future work, combining CommGuard with
+Rely-style quantitative reliability analysis [4]: *"with CommGuard, the
+reliability analysis can capture that error effects do not propagate across
+frame boundaries; as a result, Rely's reliability analysis may compute the
+overall application reliability for streaming data."*
+
+:mod:`repro.analysis.reliability` implements that calculus: closed-form
+per-output-frame reliability under the machine's error model, with and
+without CommGuard's frame isolation, validated against simulation in
+``tests/analysis``.
+"""
+
+from repro.analysis.reliability import (
+    FrameReliabilityModel,
+    clean_frame_fraction,
+)
+
+__all__ = ["FrameReliabilityModel", "clean_frame_fraction"]

@@ -1,0 +1,138 @@
+"""Rely-style frame-reliability analysis (the paper's Section 9 future work).
+
+The calculus
+============
+
+Errors arrive on each core as a Poisson process with rate ``1/MTBE`` per
+instruction; a fraction ``1 - p_masked`` of arrivals have an architectural
+effect.  A thread's frame computation of node *n* executes
+``instructions_per_frame(n)`` instructions, so the number of effective
+errors hitting one frame of *n* is Poisson with mean
+
+    mu(n) = instructions_per_frame(n) / MTBE * (1 - p_masked)
+
+and the probability that the frame executes unaffected is ``exp(-mu(n))``.
+
+**With CommGuard**, error effects are confined to the frame they strike
+(the realignment invariant): output frame *f* is clean iff no effective
+error hit frame *f* of any node in its dependency cone — every node, since
+a frame flows through the whole graph.  Reliability is *constant per
+frame*:
+
+    R_guarded = prod_n exp(-mu(n)) = exp(-sum_n mu(n))
+
+**Without CommGuard**, only data-class errors stay confined; control-flow
+and addressing errors misalign the stream *permanently*, corrupting every
+later frame.  Output frame *f* (0-indexed) is clean iff no alignment-class
+error occurred in frames 0..f anywhere and no data-class error hit frame
+*f*:
+
+    R_unprotected(f) = exp(-sum_n mu_align(n) * (f + 1)) * exp(-sum_n mu_data(n))
+
+which decays geometrically in *f* — the analytical form of Fig. 3's
+collapse.  The expected clean fraction over an F-frame run is the
+geometric partial sum.
+
+These formulas slightly *underestimate* guarded reliability's granularity
+(a realignment actually pads/discards only part of a frame) and treat the
+dependency cone as the whole graph (exact for our feed-forward pipelines at
+frame granularity); the validation tests bound the gap against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.errors import ErrorModel
+from repro.streamit.program import StreamProgram
+
+
+@dataclass(frozen=True)
+class FrameReliabilityModel:
+    """Closed-form frame reliability for one program + error model."""
+
+    program: StreamProgram
+    error_model: ErrorModel
+    mtbe: float
+
+    def __post_init__(self) -> None:
+        if self.mtbe <= 0:
+            raise ValueError("mtbe must be positive")
+
+    # -- per-node error exposure ---------------------------------------------------
+
+    def mu_total(self) -> float:
+        """Mean effective errors per application frame (all nodes)."""
+        unmasked = 1.0 - self.error_model.p_masked
+        frames = self.program.frames
+        return sum(
+            frames.instructions_per_frame(node) / self.mtbe * unmasked
+            for node in self.program.graph.nodes
+        )
+
+    def mu_alignment(self) -> float:
+        """Mean effective *alignment-class* (control + address) errors per
+        frame — the permanently-corrupting class without CommGuard."""
+        share = self.error_model.p_control + self.error_model.p_address
+        return self.mu_total() * share
+
+    def mu_data(self) -> float:
+        return self.mu_total() * self.error_model.p_data
+
+    # -- reliability ---------------------------------------------------------------
+
+    def guarded_frame_reliability(self) -> float:
+        """P(an output frame is clean) under CommGuard — frame-constant."""
+        return math.exp(-self.mu_total())
+
+    def unprotected_frame_reliability(self, frame: int) -> float:
+        """P(output frame *frame* is clean) without CommGuard."""
+        if frame < 0:
+            raise ValueError("frame index must be >= 0")
+        return math.exp(
+            -(self.mu_alignment() * (frame + 1) + self.mu_data())
+        )
+
+    def guarded_clean_fraction(self) -> float:
+        """Expected fraction of clean output frames under CommGuard."""
+        return self.guarded_frame_reliability()
+
+    def unprotected_clean_fraction(self) -> float:
+        """Expected fraction of clean output frames without CommGuard.
+
+        Mean of the geometrically decaying per-frame reliabilities over the
+        program's ``n_frames``.
+        """
+        n = self.program.n_frames
+        mu_align = self.mu_alignment()
+        base = math.exp(-self.mu_data())
+        if mu_align == 0.0:
+            return base
+        ratio = math.exp(-mu_align)
+        # sum_{f=1..n} ratio^f = ratio (1 - ratio^n) / (1 - ratio)
+        partial = ratio * (1.0 - ratio**n) / (1.0 - ratio)
+        return base * partial / n
+
+    def protection_gain(self) -> float:
+        """Ratio of expected clean frames: CommGuard / unprotected."""
+        unprotected = self.unprotected_clean_fraction()
+        if unprotected == 0.0:
+            return math.inf
+        return self.guarded_clean_fraction() / unprotected
+
+    def mtbe_for_target_reliability(self, target: float) -> float:
+        """Smallest per-core MTBE achieving frame reliability *target* under
+        CommGuard (inverting the closed form) — a provisioning helper."""
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        return self.mtbe * self.mu_total() / -math.log(target)
+
+
+def clean_frame_fraction(
+    output_frames: int, clean_frames: int
+) -> float:
+    """Observed clean-frame fraction from a simulation (validation helper)."""
+    if output_frames <= 0:
+        raise ValueError("need at least one frame")
+    return clean_frames / output_frames

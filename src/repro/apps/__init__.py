@@ -1,0 +1,34 @@
+"""The six StreamIt benchmarks of the paper's evaluation (Section 6).
+
+``audiobeamformer``, ``channelvocoder``, ``complex-fir``, ``fft`` and the
+multimedia decoders ``jpeg`` and ``mp3``, each built as a stream graph and
+packaged as a :class:`~repro.apps.base.BenchmarkApp` with its input data,
+reference output and quality metric:
+
+* jpeg / mp3 are lossy codecs: quality is PSNR/SNR against the *raw* input,
+  and the error-free decode of the compressed stream sets the baseline
+  quality (Section 6, "Benchmarks").
+* the other four compare error-prone output directly against the error-free
+  run's output (error-free SNR is infinity).
+"""
+
+from repro.apps.audiobeamformer import build_audiobeamformer_app
+from repro.apps.base import BenchmarkApp
+from repro.apps.channelvocoder import build_channelvocoder_app
+from repro.apps.complex_fir import build_complex_fir_app
+from repro.apps.fft_app import build_fft_app
+from repro.apps.jpeg import build_jpeg_app
+from repro.apps.mp3 import build_mp3_app
+from repro.apps.registry import APP_BUILDERS, build_app
+
+__all__ = [
+    "APP_BUILDERS",
+    "BenchmarkApp",
+    "build_app",
+    "build_audiobeamformer_app",
+    "build_channelvocoder_app",
+    "build_complex_fir_app",
+    "build_fft_app",
+    "build_jpeg_app",
+    "build_mp3_app",
+]

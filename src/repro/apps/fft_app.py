@@ -1,0 +1,51 @@
+"""The ``fft`` benchmark: streaming radix-2 FFT pipeline.
+
+Mirrors StreamIt's FFT benchmark: a source streams interleaved (re, im)
+float words; a bit-reverse reorder stage feeds log2(N) butterfly stages;
+the sink collects the spectra.  With N=64 this is a 9-node pipeline on the
+10-core machine.  Quality is the SNR of the error-prone output spectrum
+stream against the error-free run (Fig. 11d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import BenchmarkApp, clipped_float_decoder
+from repro.apps.dsp import BitReverseReorder, ButterflyStage
+from repro.quality.audio import multitone_signal
+from repro.streamit.filters import FloatSink, FloatSource
+from repro.streamit.builders import pipeline
+from repro.streamit.program import StreamProgram
+
+
+def build_fft_graph(n_points: int, samples: np.ndarray):
+    """Build the FFT stream graph over interleaved complex words."""
+    interleaved: list[float] = []
+    for value in samples:
+        interleaved.append(float(value))
+        interleaved.append(0.0)
+    rate = 2 * n_points
+    source = FloatSource("source", interleaved, rate=rate)
+    stages = [
+        ButterflyStage(f"butterfly{s}", n_points, stage=s)
+        for s in range(1, n_points.bit_length())
+    ]
+    sink = FloatSink("sink", rate=rate)
+    return pipeline([source, BitReverseReorder("reorder", n_points), *stages, sink])
+
+
+def build_fft_app(
+    n_frames: int = 48, n_points: int = 64, seed: int = 11
+) -> BenchmarkApp:
+    """Package the fft benchmark (``n_frames`` transforms of ``n_points``)."""
+    samples = multitone_signal(n_frames * n_points, seed=seed)
+    graph = build_fft_graph(n_points, samples)
+    program = StreamProgram.compile(graph)
+    return BenchmarkApp(
+        name="fft",
+        program=program,
+        sink_name="sink",
+        metric="snr",
+        decode_output=clipped_float_decoder(limit=4.0 * n_points),
+    )

@@ -1,0 +1,62 @@
+"""Bit-level I/O for the entropy-coded codec streams (jpeg and mp3)."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._n_bits = 0
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        """Append the low *n_bits* of *value*, MSB first."""
+        if n_bits < 0 or (n_bits and value >> n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        self._accumulator = (self._accumulator << n_bits) | value
+        self._n_bits += n_bits
+        while self._n_bits >= 8:
+            self._n_bits -= 8
+            self._bytes.append((self._accumulator >> self._n_bits) & 0xFF)
+        self._accumulator &= (1 << self._n_bits) - 1
+
+    def getvalue(self) -> bytes:
+        """Finish (zero-padding the last byte) and return the stream."""
+        if self._n_bits:
+            pad = 8 - self._n_bits
+            return bytes(self._bytes) + bytes(
+                [(self._accumulator << pad) & 0xFF]
+            )
+        return bytes(self._bytes)
+
+    def __len__(self) -> int:
+        return len(self._bytes) * 8 + self._n_bits
+
+
+class BitReader:
+    """MSB-first bit reader over a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self.position = 0  # in bits
+
+    def read_bits(self, n_bits: int) -> int:
+        """Read *n_bits* MSB-first; reads past the end return zero bits."""
+        value = 0
+        for _ in range(n_bits):
+            byte_index = self.position >> 3
+            bit = 0
+            if byte_index < len(self._data):
+                bit = (self._data[byte_index] >> (7 - (self.position & 7))) & 1
+            value = (value << 1) | bit
+            self.position += 1
+        return value
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= 8 * len(self._data)

@@ -1,0 +1,32 @@
+"""8x8 orthonormal DCT-II / DCT-III (the JPEG transform pair)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _dct_matrix(n: int = 8) -> np.ndarray:
+    matrix = np.empty((n, n), dtype=np.float64)
+    for k in range(n):
+        scale = math.sqrt(1.0 / n) if k == 0 else math.sqrt(2.0 / n)
+        for i in range(n):
+            matrix[k, i] = scale * math.cos(math.pi * (2 * i + 1) * k / (2 * n))
+    return matrix
+
+
+_C = _dct_matrix(8)
+_CT = _C.T
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of an 8x8 block (orthonormal)."""
+    block = np.asarray(block, dtype=np.float64).reshape(8, 8)
+    return _C @ block @ _CT
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """2-D DCT-III (inverse of :func:`forward_dct`)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64).reshape(8, 8)
+    return _CT @ coefficients @ _C

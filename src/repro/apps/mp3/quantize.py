@@ -1,0 +1,72 @@
+"""Subband quantisation: bit allocation and scalefactors (Layer-I style).
+
+Each codec frame carries 12 consecutive samples of all 32 subbands (384 PCM
+samples).  Per band, a 6-bit scalefactor indexes a geometric ladder covering
+the signal's dynamic range; the 12 samples are then uniformly quantised with
+the band's statically allocated bit width.  The static allocation spends
+more bits on the perceptually dominant low bands and drops the top bands —
+the standard Layer-I/II trade that makes the codec genuinely lossy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.mp3.filterbank import N_BANDS
+
+#: Samples of each subband per codec frame (Layer I granularity).
+SAMPLES_PER_BAND = 12
+#: PCM samples per codec frame.
+FRAME_SAMPLES = N_BANDS * SAMPLES_PER_BAND
+
+#: Static per-band sample bit widths (0 = band not transmitted).  Tuned so
+#: the error-free codec SNR lands near the paper's 9.4 dB mp3 baseline
+#: (ours measures ~10.6 dB on the multitone input at ~8:1 compression).
+DEFAULT_BIT_ALLOCATION = (
+    [2] * 16      # bands 0-15
+    + [1] * 8     # bands 16-23
+    + [0] * 8     # bands 24-31 dropped
+)
+assert len(DEFAULT_BIT_ALLOCATION) == N_BANDS
+
+#: 6-bit scalefactor ladder: index i covers magnitude 2^(2 - i/3)
+#: (matches the 1/3-octave spacing of ISO scalefactors).
+N_SCALEFACTORS = 64
+
+
+def scalefactor_value(index: int) -> float:
+    """Magnitude represented by scalefactor *index*."""
+    if not 0 <= index < N_SCALEFACTORS:
+        raise ValueError(f"scalefactor index {index} out of range")
+    return 2.0 ** (2.0 - index / 3.0)
+
+
+def scalefactor_index(peak: float) -> int:
+    """Smallest-magnitude scalefactor still covering *peak*."""
+    if peak <= 0.0:
+        return N_SCALEFACTORS - 1
+    index = int(math.floor(3.0 * (2.0 - math.log2(peak))))
+    return max(0, min(N_SCALEFACTORS - 1, index))
+
+
+def quantize_band(
+    samples: np.ndarray, scalefactor: float, bits: int
+) -> list[int]:
+    """Uniformly quantise *samples* in [-scalefactor, scalefactor] to codes."""
+    if bits == 0:
+        return []
+    levels = (1 << bits) - 1
+    normalized = np.clip(samples / scalefactor, -1.0, 1.0)
+    codes = np.round((normalized + 1.0) * (levels / 2.0)).astype(np.int64)
+    return [int(c) for c in codes]
+
+
+def dequantize_code(code: int, scalefactor: float, bits: int) -> float:
+    """Inverse of :func:`quantize_band` for a single code."""
+    if bits == 0:
+        return 0.0
+    levels = (1 << bits) - 1
+    code = max(0, min(levels, code))
+    return (code * 2.0 / levels - 1.0) * scalefactor

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the six benchmarks and the reproducible figures/tables.
+* ``run`` — run one benchmark under a protection level and error rate.
+* ``figure`` — regenerate one of the paper's figures/tables.
+* ``sweep`` — MTBE sweep of one benchmark (quality + loss per point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.apps.registry import APP_ORDER, build_app
+from repro.core.config import CommGuardConfig
+from repro.experiments.report import db_or_errorfree, format_table
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+
+FIGURES = {
+    "fig3": ("repro.experiments.fig03_motivation", "jpeg under 4 protection levels"),
+    "fig7": ("repro.experiments.fig07_example", "example jpeg run, pad/discards"),
+    "fig8": ("repro.experiments.fig08_data_loss", "data loss vs MTBE, 6 apps"),
+    "fig9": ("repro.experiments.fig09_jpeg_ladder", "jpeg PSNR ladder"),
+    "fig10": ("repro.experiments.fig10_quality", "jpeg/mp3 quality vs MTBE"),
+    "fig11": ("repro.experiments.fig11_quality_others", "4 DSP apps quality"),
+    "fig12": ("repro.experiments.fig12_memory_overhead", "header memory traffic"),
+    "fig13": ("repro.experiments.fig13_runtime_overhead", "runtime overhead"),
+    "fig14": ("repro.experiments.fig14_subops", "suboperation ratios"),
+    "tables": ("repro.experiments.tables", "Tables 1-3 + storage estimate"),
+    "ablations": ("repro.experiments.ablations", "design-choice ablations"),
+    "campaign": ("repro.experiments.campaign", "fault-injection outcome campaign"),
+}
+
+PROTECTION_ALIASES = {
+    "error-free": ProtectionLevel.ERROR_FREE,
+    "ppu": ProtectionLevel.PPU_ONLY,
+    "ppu-reliable-queue": ProtectionLevel.PPU_RELIABLE_QUEUE,
+    "commguard": ProtectionLevel.COMMGUARD,
+}
+
+
+def _parse_mtbe(text: str) -> float:
+    """Accept plain numbers or k/M suffixes: ``512k``, ``1M``, ``64000``."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text.endswith("k"):
+        factor, text = 1e3, text[:-1]
+    elif text.endswith("m"):
+        factor, text = 1e6, text[:-1]
+    value = float(text) * factor
+    if value <= 0:
+        raise argparse.ArgumentTypeError("MTBE must be positive")
+    return value
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in APP_ORDER:
+        print(f"  {name}")
+    print("\nfigures/tables (use with `figure`):")
+    for key, (_module, description) in FIGURES.items():
+        print(f"  {key:10s} {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    app = build_app(args.app, scale=args.scale)
+    protection = PROTECTION_ALIASES[args.protection]
+    config = CommGuardConfig(frame_scale=args.frame_scale)
+    start = time.time()
+    result = run_program(
+        app.program,
+        protection,
+        mtbe=args.mtbe,
+        seed=args.seed,
+        commguard_config=config,
+    )
+    elapsed = time.time() - start
+    stats = result.commguard_stats()
+    quality = app.quality(result)
+    rows = [
+        ["app", args.app],
+        ["protection", protection.value],
+        ["MTBE", "-" if args.mtbe is None else f"{args.mtbe:,.0f}"],
+        ["seed", args.seed],
+        [f"quality ({app.metric.upper()})", db_or_errorfree(quality)],
+        ["baseline quality", db_or_errorfree(app.baseline_quality())],
+        ["errors injected", result.errors_injected],
+        ["padded items", stats.pads],
+        ["discarded items", stats.discarded_items],
+        ["data loss ratio", result.data_loss_ratio()],
+        ["committed instructions", result.committed_instructions],
+        ["simulated in", f"{elapsed:.1f}s"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, _description = FIGURES[args.name]
+    module = importlib.import_module(module_name)
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    print(module.main(**kwargs))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    app = build_app(args.app, scale=args.scale)
+    protection = PROTECTION_ALIASES[args.protection]
+    rows = []
+    for mtbe_text in args.mtbe:
+        mtbe = _parse_mtbe(mtbe_text)
+        qualities, losses = [], []
+        for seed in range(args.seeds):
+            result = run_program(app.program, protection, mtbe=mtbe, seed=seed)
+            qualities.append(min(app.quality(result), 96.0))
+            losses.append(result.data_loss_ratio())
+        rows.append(
+            [
+                f"{mtbe / 1000:.0f}k",
+                sum(qualities) / len(qualities),
+                sum(losses) / len(losses),
+            ]
+        )
+    print(f"{args.app} under {protection.value} ({args.seeds} seeds/point)")
+    print(format_table(["MTBE", f"mean {app.metric.upper()} (dB)", "loss ratio"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CommGuard (ASPLOS 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and figures").set_defaults(
+        func=cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one benchmark once")
+    run_parser.add_argument("app", choices=list(APP_ORDER))
+    run_parser.add_argument(
+        "--protection",
+        choices=list(PROTECTION_ALIASES),
+        default="commguard",
+    )
+    run_parser.add_argument("--mtbe", type=_parse_mtbe, default=None,
+                            help="per-core MTBE, e.g. 512k or 1M")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--frame-scale", type=int, default=1)
+    run_parser.set_defaults(func=cmd_run)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", choices=list(FIGURES))
+    figure_parser.add_argument("--scale", type=float, default=None)
+    figure_parser.set_defaults(func=cmd_figure)
+
+    sweep_parser = sub.add_parser("sweep", help="MTBE sweep of one benchmark")
+    sweep_parser.add_argument("app", choices=list(APP_ORDER))
+    sweep_parser.add_argument(
+        "--mtbe", nargs="+", default=["64k", "256k", "1M", "4M"]
+    )
+    sweep_parser.add_argument(
+        "--protection", choices=list(PROTECTION_ALIASES), default="commguard"
+    )
+    sweep_parser.add_argument("--seeds", type=int, default=3)
+    sweep_parser.add_argument("--scale", type=float, default=0.5)
+    sweep_parser.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""The Alignment Manager (AM), Section 4.2.
+
+One AM instance guards one incoming queue of a consumer thread.  It answers
+the thread's pop requests, classifying each data unit the QM returns against
+the thread's ``active-fc`` and driving the Table 1 FSM; on misalignment it
+*discards* queue data (to realign the communication with the computation) or
+*pads* the thread's pops with a constant (to realign the computation with
+the communication).
+
+The public surface is two methods mirroring the FSM's two event sources:
+:meth:`pop` for pop instructions and :meth:`on_new_frame_computation` for
+frame-computation rollovers.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecc import EccError
+from repro.core.fsm import AlignmentEvent, AlignmentState, transition
+from repro.core.header import (
+    END_OF_COMPUTATION,
+    header_frame_id,
+    is_header_unit,
+    unit_word,
+)
+from repro.core.queue_manager import GuardedQueue
+from repro.core.stats import CommGuardStats
+from repro.core.trace import TraceKind
+
+
+class AlignmentManager:
+    """Per-incoming-queue alignment checker and pad/discard engine."""
+
+    def __init__(
+        self,
+        queue: GuardedQueue,
+        stats: CommGuardStats,
+        pad_word: int = 0,
+    ) -> None:
+        self._queue = queue
+        self._stats = stats
+        self._pad_word = pad_word
+        self.state = AlignmentState.RCV_CMP
+        #: Frame ID of the future header that sent us to Pdg (or None).
+        self.pending_header: int | None = None
+        #: True once the producer's end-of-computation header was seen.
+        self.producer_finished = False
+        #: Optional trace hook: (TraceKind, active_fc, detail) -> None.
+        self.observer = None
+
+    # -- tracing -----------------------------------------------------------------
+
+    def _notify(self, kind: TraceKind, active_fc: int, detail: str = "") -> None:
+        if self.observer is not None:
+            self.observer(kind, active_fc, detail)
+
+    def _apply(self, event: AlignmentEvent, active_fc: int) -> "AlignmentState":
+        """Run one FSM transition, tracing state changes."""
+        previous = self.state
+        self.state = transition(previous, event)
+        if self.state is not previous:
+            self._notify(
+                TraceKind.TRANSITION,
+                active_fc,
+                f"{previous.value} -> {self.state.value} on {event.value}",
+            )
+        return previous
+
+    # -- event: new frame computation ---------------------------------------
+
+    def on_new_frame_computation(self, active_fc: int) -> None:
+        """The local thread rolled over to frame *active_fc*."""
+        self._stats.counter_ops += 1
+        self._stats.fsm_ops += 1
+        if self.state is AlignmentState.PDG:
+            if self.pending_header is not None and active_fc >= self.pending_header:
+                self._apply(AlignmentEvent.FC_MATCHED_HEADER, active_fc)
+                self.pending_header = None
+        else:
+            self._apply(AlignmentEvent.NEW_FRAME_COMPUTATION, active_fc)
+
+    # -- event: pop instruction ----------------------------------------------
+
+    def pop(self, active_fc: int) -> int | None:
+        """Serve one pop request of the local thread.
+
+        Returns the word to hand to the thread, or ``None`` when the queue
+        is empty and the request must block (the AM's state is preserved so
+        a retry resumes exactly where it left off).
+
+        The passive is-state-Pdg comparison at the top of Table 2's pop flow
+        is folded into the pop datapath (a mode-bit check, not a separate
+        hardware suboperation); only FSM *updates* are charged to the
+        FSM/Counter series of Fig. 14.
+        """
+        if self.state is AlignmentState.PDG:
+            self._stats.pads += 1
+            self._notify(TraceKind.PAD, active_fc, "padding until matched frame")
+            return self._pad_word
+        while True:
+            unit = self._queue.pop_unit(self._stats)
+            if unit is None:
+                if self.producer_finished:
+                    # Producer done and drained: every further pop pads.
+                    self._stats.pads += 1
+                    self._notify(TraceKind.PAD, active_fc, "producer finished")
+                    return self._pad_word
+                return None
+            self._stats.is_header_checks += 1
+            if not is_header_unit(unit):
+                if self.state is AlignmentState.RCV_CMP:
+                    return unit_word(unit)
+                if self.state is AlignmentState.EXP_HDR:
+                    self._apply(AlignmentEvent.RECEIVED_ITEM, active_fc)
+                    self._stats.fsm_ops += 1
+                    self._stats.discard_events += 1
+                self._stats.discarded_items += 1
+                self._notify(TraceKind.DISCARD_ITEM, active_fc, "extra item drained")
+                continue
+            # Header unit: ECC-check, then classify against active-fc.
+            self._stats.ecc_ops += 1
+            try:
+                frame_id = header_frame_id(unit)
+            except EccError:
+                # Uncorrectable header: drop it; frame checking recovers at
+                # the next boundary.
+                self._stats.ecc_uncorrectable += 1
+                self._stats.discarded_headers += 1
+                self._notify(
+                    TraceKind.DISCARD_HEADER, active_fc, "uncorrectable ECC"
+                )
+                continue
+            served = self._on_header(frame_id, active_fc)
+            if served is not None:
+                return served
+
+    def _on_header(self, frame_id: int, active_fc: int) -> int | None:
+        """Drive the FSM for a received header; maybe serve padding."""
+        if frame_id == END_OF_COMPUTATION:
+            # Treated as a header no future frame computation of this run
+            # matches: the producer is finished, all further pops pad.
+            self.producer_finished = True
+            self.pending_header = None
+            self.state = AlignmentState.RCV_CMP
+            self._stats.fsm_ops += 1
+            self._stats.pads += 1
+            self._notify(TraceKind.EOC, active_fc, "producer end-of-computation")
+            return self._pad_word
+        if frame_id == active_fc:
+            event = AlignmentEvent.RECEIVED_CORRECT_HEADER
+        elif frame_id < active_fc:
+            event = AlignmentEvent.RECEIVED_PAST_HEADER
+        else:
+            event = AlignmentEvent.RECEIVED_FUTURE_HEADER
+        previous = self._apply(event, active_fc)
+        self._stats.fsm_ops += 1
+        if event is AlignmentEvent.RECEIVED_FUTURE_HEADER:
+            self.pending_header = frame_id
+            if previous is not AlignmentState.PDG:
+                self._stats.pad_events += 1
+            self._stats.pads += 1
+            self._notify(
+                TraceKind.PAD, active_fc, f"future header {frame_id} (data lost)"
+            )
+            return self._pad_word
+        if event is AlignmentEvent.RECEIVED_PAST_HEADER:
+            if previous is AlignmentState.RCV_CMP:
+                self._stats.discard_events += 1
+            self._stats.discarded_headers += 1
+            self._notify(
+                TraceKind.DISCARD_HEADER, active_fc, f"stale header {frame_id}"
+            )
+            return None  # keep draining
+        if (
+            event is AlignmentEvent.RECEIVED_CORRECT_HEADER
+            and previous is AlignmentState.RCV_CMP
+        ):
+            # Duplicate header for the active frame: not in Table 1; benign,
+            # discard and continue.
+            self._stats.discarded_headers += 1
+            return None
+        # Correct header resolved ExpHdr/Disc/DiscFr: continue the loop to
+        # fetch the actual item the thread asked for.
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def aligned(self) -> bool:
+        """True when no misalignment is being worked around."""
+        return self.state in (AlignmentState.RCV_CMP, AlignmentState.EXP_HDR)

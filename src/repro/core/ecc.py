@@ -1,0 +1,96 @@
+"""SEC-DED error-correcting code for 32-bit words.
+
+The paper protects frame headers and the QM's shared working-set pointers
+with word-sized ECC (Table 3: "Single-word ECC set/check").  We implement
+the classic Hamming(38,32) + overall-parity construction, i.e. a 39-bit
+SEC-DED codeword: any single-bit error is corrected, any double-bit error is
+detected.
+
+Codeword layout (bit 0 = LSB):
+  * positions 1..38 follow the textbook Hamming layout: parity bits sit at
+    power-of-two positions (1, 2, 4, 8, 16, 32) and data bits fill the rest;
+  * position 0 holds the overall (even) parity over positions 1..38.
+"""
+
+from __future__ import annotations
+
+CODEWORD_BITS = 39
+
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32)
+_DATA_POSITIONS = tuple(
+    pos for pos in range(1, CODEWORD_BITS) if pos not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == 32
+
+
+class EccError(Exception):
+    """Raised when a codeword holds an uncorrectable (double-bit) error."""
+
+
+def _parity_of_positions(codeword: int, parity_bit: int) -> int:
+    """Even parity over all positions covered by *parity_bit* (excl. itself)."""
+    parity = 0
+    for pos in range(1, CODEWORD_BITS):
+        if pos != parity_bit and pos & parity_bit:
+            parity ^= (codeword >> pos) & 1
+    return parity
+
+
+def ecc_encode(data: int) -> int:
+    """Encode a 32-bit word into a 39-bit SEC-DED codeword."""
+    if not 0 <= data < (1 << 32):
+        raise ValueError("ecc_encode expects a 32-bit word")
+    codeword = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        codeword |= ((data >> i) & 1) << pos
+    for parity_bit in _PARITY_POSITIONS:
+        codeword |= _parity_of_positions(codeword, parity_bit) << parity_bit
+    overall = 0
+    for pos in range(1, CODEWORD_BITS):
+        overall ^= (codeword >> pos) & 1
+    return codeword | overall
+
+
+def _extract_data(codeword: int) -> int:
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        data |= ((codeword >> pos) & 1) << i
+    return data
+
+
+def ecc_decode(codeword: int) -> tuple[int, bool]:
+    """Decode a 39-bit codeword, correcting a single-bit error if present.
+
+    Returns ``(data, corrected)`` where *corrected* says whether a single-bit
+    error was repaired.  Raises :class:`EccError` on a double-bit error.
+    """
+    if not 0 <= codeword < (1 << CODEWORD_BITS):
+        raise ValueError("ecc_decode expects a 39-bit codeword")
+    syndrome = 0
+    for parity_bit in _PARITY_POSITIONS:
+        computed = _parity_of_positions(codeword, parity_bit)
+        stored = (codeword >> parity_bit) & 1
+        if computed != stored:
+            syndrome |= parity_bit
+    overall = 0
+    for pos in range(CODEWORD_BITS):
+        overall ^= (codeword >> pos) & 1
+    # overall == 0 means the stored overall-parity bit matches positions 1..38.
+    if syndrome == 0:
+        if overall == 0:
+            return _extract_data(codeword), False
+        # Only the overall parity bit itself flipped; data is intact.
+        return _extract_data(codeword), True
+    if overall == 0:
+        # Syndrome set but total parity even: two bits flipped.
+        raise EccError(f"double-bit error detected (syndrome={syndrome:#x})")
+    if syndrome >= CODEWORD_BITS:
+        raise EccError(f"invalid syndrome {syndrome:#x}")
+    return _extract_data(codeword ^ (1 << syndrome)), True
+
+
+def flip_codeword_bit(codeword: int, bit: int) -> int:
+    """Flip one bit of a codeword (used by tests and the error injector)."""
+    if not 0 <= bit < CODEWORD_BITS:
+        raise ValueError(f"bit index {bit} outside {CODEWORD_BITS}-bit codeword")
+    return codeword ^ (1 << bit)

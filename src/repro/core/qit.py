@@ -1,0 +1,69 @@
+"""Queue Information Table (QIT).
+
+Figure 4 of the paper: the CommGuard modules on a core look up per-queue
+state — the AM's FSM state and pending header, and the QM's local pointers —
+through the QIT, indexed by queue ID.  Section 5.5 sizes the reliable
+storage at roughly 82 bytes for 4 queues; we model the table as explicit
+entries so that the storage inventory of Section 5.5 can be computed and
+tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.alignment_manager import AlignmentManager
+    from repro.core.queue_manager import GuardedQueue
+
+
+@dataclass(slots=True)
+class QITEntry:
+    """One queue's row in the QIT."""
+
+    qid: int
+    direction: str  # "in" | "out"
+    queue: "GuardedQueue"
+    alignment_manager: "AlignmentManager | None" = None
+
+    #: Reliable storage modeled for this entry, in bits (Section 5.5):
+    #: 3 bits of FSM/flags + 4 words (header, queue id, local pointer,
+    #: speculative pointer copy).
+    STORAGE_BITS_PER_ENTRY = 3 + 4 * 32
+
+
+@dataclass(slots=True)
+class QueueInfoTable:
+    """Per-thread table of queue entries, indexed by queue ID."""
+
+    entries: dict[int, QITEntry] = field(default_factory=dict)
+
+    def add(self, entry: QITEntry) -> None:
+        if entry.qid in self.entries:
+            raise ValueError(f"duplicate QIT entry for queue {entry.qid}")
+        self.entries[entry.qid] = entry
+
+    def __getitem__(self, qid: int) -> QITEntry:
+        return self.entries[qid]
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def incoming(self) -> list[QITEntry]:
+        return [e for e in self.entries.values() if e.direction == "in"]
+
+    def outgoing(self) -> list[QITEntry]:
+        return [e for e in self.entries.values() if e.direction == "out"]
+
+    def reliable_storage_bits(self) -> int:
+        """Reliable on-core storage this table needs (Section 5.5 estimate).
+
+        Two counters and their limits (active-fc + saturating counter, a
+        word each) plus the per-entry storage.
+        """
+        counters = 4 * 32
+        return counters + len(self.entries) * QITEntry.STORAGE_BITS_PER_ENTRY

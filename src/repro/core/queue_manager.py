@@ -1,0 +1,190 @@
+"""The Queue Manager (QM): reliable queue storage with working sets.
+
+Section 5.1 / Figure 6 of the paper: the QM implements the StreamIt parallel
+queue as a memory region divided into sub-regions ("working sets") so that
+per-item pushes and pops touch only *local* head/tail pointers; the shared
+pointers that hand working sets between producer and consumer are
+ECC-protected and accessed only at working-set granularity.  Table 3 charges
+10 ECC set/check operations per full ``QM-get-new-workset`` handoff; a
+lightweight shared-tail *refresh* at a frame boundary (publishing a partial
+working set so the consumer can see the completed frame) costs one ECC set
+plus one check.
+
+We model one :class:`GuardedQueue` per graph edge.  The producer fills a
+local working set and publishes it when full; the Header Inserter also
+triggers a publish at every frame boundary, which — together with a queue
+capacity of at least two frames — guarantees deadlock-free progress (see
+DESIGN.md).  Consumers block (``None``) when nothing is published.
+
+Data units are the packed integers of :mod:`repro.core.header`: regular
+items and ECC-protected frame headers share the queue, separated by the
+header bit exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.header import DataUnit, is_header_unit
+from repro.core.stats import CommGuardStats
+
+#: ECC set/check operations charged per full working-set handoff (Table 3).
+ECC_OPS_PER_WORKSET_HANDOFF = 10
+#: ECC operations charged per frame-boundary shared-pointer refresh.
+ECC_OPS_PER_BOUNDARY_REFRESH = 2
+
+
+@dataclass(frozen=True, slots=True)
+class QueueGeometry:
+    """Sizing of one guarded queue."""
+
+    workset_units: int
+    capacity_units: int
+
+
+def plan_geometry(
+    push_rate: int,
+    pop_rate: int,
+    items_per_frame: int,
+    workset_units: int = 256,
+    min_capacity: int = 64,
+) -> QueueGeometry:
+    """Choose a queue geometry for an edge.
+
+    Capacity covers two full frames (plus headers and PPU-bounded overshoot
+    slack) so a producer can always finish its current frame computation
+    without waiting on its consumer — the progress invariant that, together
+    with frame-boundary publishing, makes CommGuard runs deadlock-free.
+    """
+    if push_rate < 1 or pop_rate < 1 or items_per_frame < 1:
+        raise ValueError("edge rates and frame size must be positive")
+    capacity = max(
+        2 * items_per_frame + 2 * max(push_rate, pop_rate) + 8, min_capacity
+    )
+    return QueueGeometry(workset_units=max(1, workset_units), capacity_units=capacity)
+
+
+class GuardedQueue:
+    """One edge's QM-managed storage (items + headers, working-set handoff)."""
+
+    def __init__(self, qid: int, geometry: QueueGeometry) -> None:
+        self.qid = qid
+        self.geometry = geometry
+        self._published: deque[DataUnit] = deque()
+        self._producer_local: list[DataUnit] = []
+        self._flushed = False
+        #: High-water mark of total buffered units (Section 5.1 sizing aid).
+        self.peak_units = 0
+
+    # -- producer side ------------------------------------------------------
+
+    def push_unit(self, unit: DataUnit, stats: CommGuardStats) -> bool:
+        """Append one data unit; ``False`` when blocked (queue at capacity)."""
+        if self.total_units() >= self.geometry.capacity_units:
+            return False
+        self._producer_local.append(unit)
+        total = self.total_units()
+        if total > self.peak_units:
+            self.peak_units = total
+        stats.qm_push_local += 1
+        if is_header_unit(unit):
+            stats.header_stores += 1
+        if len(self._producer_local) >= self.geometry.workset_units:
+            self._publish(stats, full_handoff=True)
+        return True
+
+    def flush(self, stats: CommGuardStats) -> bool:
+        """Publish a partially-filled working set.
+
+        Called by the HI at every frame boundary and at end of computation;
+        a shared-tail refresh, charged lighter than a full handoff.  Always
+        succeeds (capacity was already charged at push time).
+        """
+        if self._producer_local:
+            self._publish(stats, full_handoff=False)
+        self._flushed = True
+        return True
+
+    def _publish(self, stats: CommGuardStats, full_handoff: bool) -> None:
+        self._published.extend(self._producer_local)
+        self._producer_local.clear()
+        stats.qm_get_new_workset += 1
+        stats.ecc_ops += (
+            ECC_OPS_PER_WORKSET_HANDOFF
+            if full_handoff
+            else ECC_OPS_PER_BOUNDARY_REFRESH
+        )
+
+    # -- consumer side ------------------------------------------------------
+
+    def pop_unit(self, stats: CommGuardStats) -> DataUnit | None:
+        """Remove and return the next data unit; ``None`` when blocked."""
+        if not self._published:
+            return None
+        unit = self._published.popleft()
+        stats.qm_pop_local += 1
+        if is_header_unit(unit):
+            stats.header_loads += 1
+        return unit
+
+    # -- introspection --------------------------------------------------------
+
+    def visible_units(self) -> int:
+        """Units the consumer could pop right now."""
+        return len(self._published)
+
+    def unpublished_units(self) -> int:
+        """Units sitting in the producer's local working set."""
+        return len(self._producer_local)
+
+    def total_units(self) -> int:
+        return self.visible_units() + self.unpublished_units()
+
+    @property
+    def flushed(self) -> bool:
+        return self._flushed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GuardedQueue(qid={self.qid}, visible={self.visible_units()}, "
+            f"unpublished={self.unpublished_units()})"
+        )
+
+
+class QueueManager:
+    """Per-thread facade over the thread's guarded queues.
+
+    In hardware the QM is the module that executes push/pop/discard requests
+    against the memory subsystem (Section 4.3); here it binds the thread's
+    stats object to the shared :class:`GuardedQueue` storage so that
+    suboperations are charged to the acting thread.
+    """
+
+    def __init__(self, stats: CommGuardStats) -> None:
+        self._stats = stats
+        self._outgoing: dict[int, GuardedQueue] = {}
+        self._incoming: dict[int, GuardedQueue] = {}
+
+    def attach_outgoing(self, queue: GuardedQueue) -> None:
+        self._outgoing[queue.qid] = queue
+
+    def attach_incoming(self, queue: GuardedQueue) -> None:
+        self._incoming[queue.qid] = queue
+
+    @property
+    def outgoing(self) -> dict[int, GuardedQueue]:
+        return self._outgoing
+
+    @property
+    def incoming(self) -> dict[int, GuardedQueue]:
+        return self._incoming
+
+    def push(self, qid: int, unit: DataUnit) -> bool:
+        return self._outgoing[qid].push_unit(unit, self._stats)
+
+    def pop(self, qid: int) -> DataUnit | None:
+        return self._incoming[qid].pop_unit(self._stats)
+
+    def flush(self, qid: int) -> bool:
+        return self._outgoing[qid].flush(self._stats)

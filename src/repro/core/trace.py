@@ -1,0 +1,99 @@
+"""Alignment tracing: observe CommGuard's realignment decisions.
+
+The paper's Fig. 7 annotates *where* CommGuard padded or discarded; this
+module provides the equivalent observability for any run.  A
+:class:`TraceRecorder` attaches to Alignment Managers (via their observer
+hook) and records every FSM transition, padding and discard with the
+active frame, so a run can be post-mortemed ("which frames were realigned,
+and how?").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.system import MulticoreSystem
+
+
+class TraceKind(enum.Enum):
+    TRANSITION = "transition"
+    PAD = "pad"
+    DISCARD_ITEM = "discard-item"
+    DISCARD_HEADER = "discard-header"
+    EOC = "end-of-computation"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observed alignment event."""
+
+    kind: TraceKind
+    thread: str
+    qid: int
+    active_fc: int
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Collects alignment events; attach via :meth:`observer_for`."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    max_events: int = 100_000
+
+    def observer_for(self, thread: str, qid: int):
+        """An observer callable bound to one (thread, queue)."""
+
+        def observe(kind: TraceKind, active_fc: int, detail: str = "") -> None:
+            if len(self.events) < self.max_events:
+                self.events.append(
+                    TraceEvent(kind, thread, qid, active_fc, detail)
+                )
+
+        return observe
+
+    # -- queries -----------------------------------------------------------------
+
+    def realignment_events(self) -> list[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind in (TraceKind.PAD, TraceKind.DISCARD_ITEM, TraceKind.DISCARD_HEADER)
+        ]
+
+    def frames_realigned(self) -> set[int]:
+        """Frame numbers in which any realignment activity occurred."""
+        return {e.active_fc for e in self.realignment_events()}
+
+    def transitions(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is TraceKind.TRANSITION]
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable event log (most recent first beyond *limit*)."""
+        lines = [
+            f"{e.thread}[q{e.qid}] fc={e.active_fc:<6} {e.kind.value:15s} {e.detail}"
+            for e in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines) if lines else "(no alignment events)"
+
+
+def attach_tracer(system: "MulticoreSystem") -> TraceRecorder:
+    """Attach one recorder to every Alignment Manager of a built system.
+
+    Call between :meth:`MulticoreSystem.build` and :meth:`run`.
+    """
+    from repro.machine.thread import GuardedCommPath
+
+    recorder = TraceRecorder()
+    for core in system.cores:
+        for thread in core.threads:
+            comm = thread.comm
+            if isinstance(comm, GuardedCommPath):
+                for qid, am in comm.guard._ams.items():
+                    am.observer = recorder.observer_for(thread.node.name, qid)
+    return recorder

@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning structured results
+and a ``main()`` that prints the same rows/series the paper reports.  The
+DESIGN.md experiment index maps each paper artifact to its module here and
+to the pytest-benchmark target that regenerates it.
+
+All harnesses accept a ``scale`` parameter shrinking the benchmark inputs
+(and a ``seeds`` count) so the full suite stays laptop-friendly;
+EXPERIMENTS.md records paper-vs-measured values at the recorded scales.
+"""
+
+from repro.experiments.runner import RunRecord, SimulationRunner
+from repro.experiments.sweeps import (
+    FRAME_SCALES,
+    MTBE_LADDER_LOSS,
+    MTBE_LADDER_QUALITY,
+    PAPER_SEEDS,
+)
+
+__all__ = [
+    "FRAME_SCALES",
+    "MTBE_LADDER_LOSS",
+    "MTBE_LADDER_QUALITY",
+    "PAPER_SEEDS",
+    "RunRecord",
+    "SimulationRunner",
+]

@@ -1,0 +1,163 @@
+"""Ablation studies on CommGuard's design choices (beyond the paper's
+figures, supporting its claims directly).
+
+* **Error-class decomposition** — run jpeg under single-class error models
+  (data-only, control-only, address-only) across protection levels.  This
+  isolates *which* failure class CommGuard actually converts: data errors
+  pass through (tolerable by design), control-flow misalignments are
+  repaired only by CommGuard, addressing/QME errors are repaired by a
+  reliable queue *and* CommGuard.
+* **Masking sensitivity** — output quality vs the architectural masking
+  rate of the error model (DESIGN.md §7's calibration knob).
+* **Working-set sizing** — the QM's ECC overhead vs sub-region size
+  (Section 5.1's 320KB/8 design point is a latency/overhead trade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CommGuardConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import SimulationRunner
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+
+CLASS_MODELS = {
+    "data-only": dict(p_data=1.0, p_control=0.0, p_address=0.0),
+    "control-only": dict(p_data=0.0, p_control=1.0, p_address=0.0),
+    "address-only": dict(p_data=0.0, p_control=0.0, p_address=1.0),
+}
+
+LEVELS = (
+    ProtectionLevel.PPU_ONLY,
+    ProtectionLevel.PPU_RELIABLE_QUEUE,
+    ProtectionLevel.COMMGUARD,
+)
+
+
+@dataclass(frozen=True)
+class ClassAblationCell:
+    error_class: str
+    protection: ProtectionLevel
+    mean_quality_db: float
+
+
+def error_class_decomposition(
+    app_name: str = "jpeg",
+    mtbe: float = 400_000,
+    scale: float = 1.0,
+    n_seeds: int = 3,
+    runner: SimulationRunner | None = None,
+) -> list[ClassAblationCell]:
+    """Quality per (error class, protection level), unmasked errors only."""
+    runner = runner or SimulationRunner(scale=scale)
+    app = runner.app(app_name)
+    cells = []
+    for class_name, mix in CLASS_MODELS.items():
+        model = ErrorModel(mtbe=mtbe, p_masked=0.0, **mix)
+        for level in LEVELS:
+            qualities = []
+            for seed in range(n_seeds):
+                result = run_program(
+                    app.program, level, error_model=model, seed=seed
+                )
+                qualities.append(min(app.quality(result), 96.0))
+            cells.append(
+                ClassAblationCell(
+                    class_name, level, sum(qualities) / len(qualities)
+                )
+            )
+    return cells
+
+
+def masking_sensitivity(
+    app_name: str = "jpeg",
+    mtbe: float = 256_000,
+    scale: float = 1.0,
+    n_seeds: int = 3,
+    masking_rates: tuple[float, ...] = (0.0, 0.5, 0.8, 0.95),
+    runner: SimulationRunner | None = None,
+) -> dict[float, float]:
+    """Mean CommGuard quality vs the masked fraction of injected errors."""
+    runner = runner or SimulationRunner(scale=scale)
+    app = runner.app(app_name)
+    results = {}
+    for p_masked in masking_rates:
+        model = ErrorModel(mtbe=mtbe, p_masked=p_masked)
+        qualities = []
+        for seed in range(n_seeds):
+            result = run_program(
+                app.program, ProtectionLevel.COMMGUARD, error_model=model, seed=seed
+            )
+            qualities.append(min(app.quality(result), 96.0))
+        results[p_masked] = sum(qualities) / len(qualities)
+    return results
+
+
+def workset_size_overhead(
+    app_name: str = "jpeg",
+    scale: float = 0.5,
+    workset_sizes: tuple[int, ...] = (8, 32, 256, 2048),
+    runner: SimulationRunner | None = None,
+) -> dict[int, float]:
+    """ECC suboperations per committed instruction vs working-set size."""
+    runner = runner or SimulationRunner(scale=scale)
+    app = runner.app(app_name)
+    results = {}
+    for units in workset_sizes:
+        result = run_program(
+            app.program,
+            ProtectionLevel.COMMGUARD,
+            error_model=ErrorModel.error_free(),
+            commguard_config=CommGuardConfig(workset_units=units),
+        )
+        results[units] = result.subop_ratios()["ecc"]
+    return results
+
+
+def main(scale: float = 1.0, n_seeds: int = 3) -> str:
+    runner = SimulationRunner(scale=scale)
+    sections = []
+
+    cells = error_class_decomposition(n_seeds=n_seeds, runner=runner)
+    rows = []
+    for class_name in CLASS_MODELS:
+        row: list[object] = [class_name]
+        for level in LEVELS:
+            match = [
+                c
+                for c in cells
+                if c.error_class == class_name and c.protection == level
+            ]
+            row.append(match[0].mean_quality_db)
+        rows.append(row)
+    sections.append(
+        "Ablation: jpeg PSNR by error class and protection (unmasked errors)\n"
+        + format_table(
+            ["error class"] + [level.value for level in LEVELS], rows
+        )
+    )
+
+    masking = masking_sensitivity(n_seeds=n_seeds, runner=runner)
+    sections.append(
+        "Ablation: jpeg PSNR vs architectural masking rate (CommGuard)\n"
+        + format_table(
+            ["p_masked", "PSNR (dB)"], [[p, q] for p, q in masking.items()]
+        )
+    )
+
+    worksets = workset_size_overhead(runner=SimulationRunner(scale=0.5))
+    sections.append(
+        "Ablation: QM ECC suboperation ratio vs working-set size (error-free)\n"
+        + format_table(
+            ["workset units", "ECC ops / instruction"],
+            [[w, r] for w, r in worksets.items()],
+        )
+    )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

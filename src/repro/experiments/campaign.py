@@ -1,0 +1,170 @@
+"""Fault-injection campaigns with outcome classification.
+
+Architecture fault-injection studies classify run outcomes rather than just
+averaging quality; the paper's narrative uses the same taxonomy implicitly
+(crash/hang vs. garbled output vs. tolerable degradation vs. unaffected).
+This harness makes it explicit: run one benchmark many times under a
+protection level and bucket every run.
+
+===============  ==============================================================
+``ERROR_FREE``   output bit-identical to the error-free run
+``TOLERABLE``    quality within ``tolerable_db`` of the error-free baseline
+``DEGRADED``     visibly degraded but above the catastrophic floor
+``CATASTROPHIC`` quality at/below the floor, or the run hung / timed out
+===============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import BenchmarkApp
+from repro.experiments.report import format_table
+from repro.experiments.runner import SimulationRunner
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+
+
+class Outcome(enum.Enum):
+    ERROR_FREE = "error-free"
+    TOLERABLE = "tolerable"
+    DEGRADED = "degraded"
+    CATASTROPHIC = "catastrophic"
+
+
+@dataclass(frozen=True)
+class OutcomeThresholds:
+    """Quality thresholds (dB) for the outcome buckets.
+
+    ``tolerable_db``: maximum drop below the error-free baseline that still
+    counts as tolerable.  ``catastrophic_db``: absolute quality floor below
+    which output is considered garbage.
+    """
+
+    tolerable_db: float = 5.0
+    catastrophic_db: float = 5.0
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one campaign."""
+
+    app: str
+    protection: ProtectionLevel
+    mtbe: float
+    counts: dict[Outcome, int] = field(default_factory=dict)
+    qualities: list[float] = field(default_factory=list)
+    total_errors_injected: int = 0
+
+    @property
+    def n_runs(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, outcome: Outcome) -> float:
+        return self.counts.get(outcome, 0) / self.n_runs if self.n_runs else 0.0
+
+    def mean_quality(self) -> float:
+        return float(np.mean(self.qualities)) if self.qualities else float("nan")
+
+    def acceptable_fraction(self) -> float:
+        """Runs that are error-free or tolerable (the paper's success bar)."""
+        return self.fraction(Outcome.ERROR_FREE) + self.fraction(Outcome.TOLERABLE)
+
+
+def classify_outcome(
+    quality_db: float,
+    baseline_db: float,
+    hung: bool,
+    thresholds: OutcomeThresholds,
+    quality_cap_db: float = 96.0,
+) -> Outcome:
+    """Bucket one run's result."""
+    if hung:
+        return Outcome.CATASTROPHIC
+    baseline = min(baseline_db, quality_cap_db)
+    if quality_db >= baseline:
+        return Outcome.ERROR_FREE
+    if quality_db >= baseline - thresholds.tolerable_db:
+        return Outcome.TOLERABLE
+    if quality_db <= thresholds.catastrophic_db:
+        return Outcome.CATASTROPHIC
+    return Outcome.DEGRADED
+
+
+def run_campaign(
+    app: BenchmarkApp,
+    protection: ProtectionLevel,
+    mtbe: float,
+    n_runs: int = 20,
+    thresholds: OutcomeThresholds | None = None,
+    seed_base: int = 0,
+) -> CampaignResult:
+    """Inject faults across *n_runs* seeds and classify every outcome."""
+    thresholds = thresholds or OutcomeThresholds()
+    baseline = min(app.baseline_quality(), 96.0)
+    result = CampaignResult(app=app.name, protection=protection, mtbe=mtbe)
+    for outcome in Outcome:
+        result.counts[outcome] = 0
+    for seed in range(seed_base, seed_base + n_runs):
+        run = run_program(app.program, protection, mtbe=mtbe, seed=seed)
+        quality = min(app.quality(run), 96.0)
+        outcome = classify_outcome(quality, baseline, run.hung, thresholds)
+        result.counts[outcome] += 1
+        result.qualities.append(quality)
+        result.total_errors_injected += run.errors_injected
+    return result
+
+
+def compare_protections(
+    app_name: str = "jpeg",
+    mtbe: float = 400_000,
+    n_runs: int = 10,
+    scale: float = 1.0,
+    runner: SimulationRunner | None = None,
+    protections: tuple[ProtectionLevel, ...] = (
+        ProtectionLevel.PPU_ONLY,
+        ProtectionLevel.PPU_RELIABLE_QUEUE,
+        ProtectionLevel.COMMGUARD,
+    ),
+) -> dict[ProtectionLevel, CampaignResult]:
+    """One campaign per protection level, same app and error process."""
+    runner = runner or SimulationRunner(scale=scale)
+    app = runner.app(app_name)
+    return {
+        protection: run_campaign(app, protection, mtbe, n_runs=n_runs)
+        for protection in protections
+    }
+
+
+def main(
+    app_name: str = "jpeg", mtbe: float = 400_000, n_runs: int = 10, scale: float = 1.0
+) -> str:
+    results = compare_protections(app_name, mtbe=mtbe, n_runs=n_runs, scale=scale)
+    rows = []
+    for protection, campaign in results.items():
+        rows.append(
+            [
+                protection.value,
+                f"{100 * campaign.fraction(Outcome.ERROR_FREE):.0f}%",
+                f"{100 * campaign.fraction(Outcome.TOLERABLE):.0f}%",
+                f"{100 * campaign.fraction(Outcome.DEGRADED):.0f}%",
+                f"{100 * campaign.fraction(Outcome.CATASTROPHIC):.0f}%",
+                campaign.mean_quality(),
+            ]
+        )
+    text = (
+        f"Fault-injection campaign: {app_name}, MTBE {mtbe / 1000:.0f}k, "
+        f"{n_runs} runs per protection level\n"
+    )
+    text += format_table(
+        ["protection", "error-free", "tolerable", "degraded", "catastrophic", "mean dB"],
+        rows,
+    )
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,70 @@
+"""Figure 9: jpeg visual quality ladder at MTBE 128k/512k/2048k/8192k.
+
+The paper shows decoded images with PSNR 14.7 / 18.6 / 28.6 / 35.6 dB,
+reaching error-free quality at 8192k.  We report PSNR per point (and can
+dump the decoded images as PPMs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.plotting import quality_chart
+from repro.experiments.report import db_or_errorfree, format_table
+from repro.experiments.runner import SimulationRunner
+from repro.experiments.sweeps import seed_list
+from repro.quality.images import write_ppm
+
+LADDER = (128_000, 512_000, 2_048_000, 8_192_000)
+PAPER_PSNR = {128_000: 14.7, 512_000: 18.6, 2_048_000: 28.6, 8_192_000: 35.6}
+
+
+def run(
+    scale: float = 2.0,
+    n_seeds: int = 3,
+    ladder: tuple[int, ...] = LADDER,
+    dump_dir: str | None = None,
+    runner: SimulationRunner | None = None,
+) -> dict[int, float]:
+    """Returns {mtbe: mean PSNR (dB, capped at the error-free baseline)}."""
+    runner = runner or SimulationRunner(scale=scale)
+    app = runner.app("jpeg")
+    baseline = app.baseline_quality()
+    results = {}
+    for mtbe in ladder:
+        values = []
+        for seed in seed_list(n_seeds):
+            record, result = runner.execute("jpeg", mtbe=mtbe, seed=seed)
+            values.append(min(record.quality_db, baseline))
+            if dump_dir is not None and seed == 0:
+                write_ppm(
+                    os.path.join(dump_dir, f"fig9_mtbe{mtbe // 1000}k.ppm"),
+                    app.output_signal(result).astype("uint8"),
+                )
+        results[mtbe] = sum(values) / len(values)
+    return results
+
+
+def main(scale: float = 2.0, n_seeds: int = 3, dump_dir: str | None = None) -> str:
+    runner = SimulationRunner(scale=scale)
+    results = run(n_seeds=n_seeds, dump_dir=dump_dir, runner=runner)
+    baseline = runner.app("jpeg").baseline_quality()
+    rows = [
+        [f"{m // 1000}k", db_or_errorfree(v, cap=baseline), PAPER_PSNR.get(m, "-")]
+        for m, v in results.items()
+    ]
+    text = (
+        f"Figure 9: jpeg PSNR ladder (error-free baseline {baseline:.1f} dB; "
+        "paper baseline 35.6 dB)\n"
+    )
+    text += format_table(["MTBE", "measured PSNR", "paper PSNR (dB)"], rows)
+    text += "\n\n" + quality_chart(
+        {"jpeg (measured)": results, "jpeg (paper)": PAPER_PSNR},
+        y_label="PSNR (dB)",
+        cap=baseline,
+    )
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,110 @@
+"""Figure 10: jpeg PSNR and mp3 SNR vs MTBE, with frame-size scaling.
+
+Per app, the mean (and deviation) quality over seeds at each MTBE of the
+quality ladder; mp3 additionally sweeps the 2x/4x/8x frame sizes of
+Section 5.4 (larger frames -> fewer realignments but more data corrupted
+per misalignment).  Paper anchors: jpeg holds 20 dB and mp3 7.6 dB at
+MTBE = 512k (error-free baselines 35.6 dB and 9.4 dB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.plotting import quality_chart
+from repro.experiments.report import format_table
+from repro.experiments.runner import SimulationRunner
+from repro.experiments.sweeps import (
+    FRAME_SCALES,
+    MTBE_LADDER_QUALITY,
+    seed_list,
+)
+
+
+@dataclass(frozen=True)
+class QualityPoint:
+    mtbe: int
+    frame_scale: int
+    mean_db: float
+    stdev_db: float
+
+
+def run_app(
+    app_name: str,
+    scale: float = 1.0,
+    n_seeds: int = 3,
+    frame_scales: tuple[int, ...] = (1,),
+    ladder: tuple[int, ...] = MTBE_LADDER_QUALITY,
+    runner: SimulationRunner | None = None,
+) -> list[QualityPoint]:
+    runner = runner or SimulationRunner(scale=scale)
+    points = []
+    for frame_scale in frame_scales:
+        for mtbe in ladder:
+            mean, stdev = runner.quality_stats(
+                app_name, mtbe, seed_list(n_seeds), frame_scale=frame_scale
+            )
+            points.append(QualityPoint(mtbe, frame_scale, mean, stdev))
+    return points
+
+
+def run(
+    scale: float = 1.0,
+    n_seeds: int = 3,
+    ladder: tuple[int, ...] = MTBE_LADDER_QUALITY,
+    mp3_frame_scales: tuple[int, ...] = FRAME_SCALES,
+    runner: SimulationRunner | None = None,
+) -> dict[str, list[QualityPoint]]:
+    runner = runner or SimulationRunner(scale=scale)
+    return {
+        "jpeg": run_app("jpeg", n_seeds=n_seeds, ladder=ladder, runner=runner),
+        "mp3": run_app(
+            "mp3",
+            n_seeds=n_seeds,
+            frame_scales=mp3_frame_scales,
+            ladder=ladder,
+            runner=runner,
+        ),
+    }
+
+
+def _series_table(points: list[QualityPoint]) -> str:
+    scales = sorted({p.frame_scale for p in points})
+    ladder = sorted({p.mtbe for p in points})
+    headers = ["MTBE"] + [f"{s}x frames" for s in scales]
+    rows = []
+    for mtbe in ladder:
+        row: list[object] = [f"{mtbe // 1000}k"]
+        for s in scales:
+            match = [p for p in points if p.mtbe == mtbe and p.frame_scale == s]
+            row.append(match[0].mean_db if match else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def main(scale: float = 1.0, n_seeds: int = 3) -> str:
+    runner = SimulationRunner(scale=scale)
+    results = run(n_seeds=n_seeds, runner=runner)
+    jpeg_base = runner.app("jpeg").baseline_quality()
+    mp3_base = runner.app("mp3").baseline_quality()
+    text = (
+        f"Figure 10a: jpeg PSNR vs MTBE (error-free baseline {jpeg_base:.1f} dB; "
+        "paper 35.6 dB)\n"
+    )
+    text += _series_table(results["jpeg"])
+    text += (
+        f"\n\nFigure 10b: mp3 SNR vs MTBE and frame sizes (error-free baseline "
+        f"{mp3_base:.1f} dB; paper 9.4 dB)\n"
+    )
+    text += _series_table(results["mp3"])
+    mp3_series = {}
+    for point in results["mp3"]:
+        mp3_series.setdefault(f"{point.frame_scale}x frames", {})[point.mtbe] = (
+            point.mean_db
+        )
+    text += "\n\n" + quality_chart(mp3_series, y_label="mp3 SNR (dB)", cap=mp3_base)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's StreamIt implementation.
+
+Section 8 of the paper argues CommGuard's principles apply to any
+programming model that links groups of shared data to coarse-grained
+control flow — Concurrent Collections' tags, MapReduce's keys.  This
+package provides that bridge: :mod:`repro.extensions.tagged` maps
+tag-indexed step computations onto the guarded streaming machine, with the
+tag serving as the frame identifier exactly as Section 8 prescribes.
+"""
+
+from repro.extensions.tagged import StepSpec, TaggedStep, build_tagged_program
+
+__all__ = ["StepSpec", "TaggedStep", "build_tagged_program"]

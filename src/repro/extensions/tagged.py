@@ -1,0 +1,151 @@
+"""Tag-based (Concurrent-Collections / MapReduce style) programs on the
+guarded machine.
+
+Section 8 of the paper: *"Concurrent Collections expresses control-flow by
+tagging produced items of a thread and steps threads with a matching tag.
+Similarly, keys in MapReduce programs identify a group of items and express
+the sequencing of parallel operations.  CommGuard's headers are identifiers
+for data frames, and alignment manager modules use these identifiers for
+realignment."*
+
+This module realizes that mapping.  A program is a chain of *steps*; a step
+consumes the item group of tag *t* and produces the group for tag *t* of
+the next step.  Each step instance (one tag) is one CommGuard frame
+computation, so the frame headers carry exactly the tag sequence, and the
+Alignment Manager realigns by tag — dropped or duplicated tag groups
+become padded/discarded groups rather than permanent misalignment.
+
+Unlike StreamIt filters, step functions see *(tag, values)* and may emit
+values that depend on the tag — the strict static producer/consumer rates
+remain (they are what makes the SDF machine applicable), but the paper
+notes these are the only StreamIt attributes CommGuard actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.streamit.filters import Batch, Filter, IntSink, IntSource
+from repro.streamit.builders import pipeline
+from repro.streamit.graph import StreamGraph
+from repro.streamit.program import StreamProgram
+
+#: A step function: (tag, input words) -> output words.
+StepFunction = Callable[[int, list[int]], list[int]]
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """Declaration of one tagged step collection.
+
+    ``items_in`` / ``items_out``
+        Group sizes: how many words the step consumes/produces per tag.
+    ``fn``
+        The step body, invoked once per tag.
+    """
+
+    name: str
+    items_in: int
+    items_out: int
+    fn: StepFunction
+
+    def __post_init__(self) -> None:
+        if self.items_in < 1 or self.items_out < 1:
+            raise ValueError(f"step {self.name}: group sizes must be positive")
+
+
+class TaggedStep(Filter):
+    """A step collection as a stream node: one tag instance per firing.
+
+    The local tag counter mirrors the thread's control flow; CommGuard's
+    ``active-fc`` tracks it through the frame-computation signal, so the
+    headers on every outgoing queue carry the tag.
+    """
+
+    def __init__(self, spec: StepSpec) -> None:
+        super().__init__(
+            spec.name,
+            input_rates=(spec.items_in,),
+            output_rates=(spec.items_out,),
+        )
+        self.spec = spec
+        self._tag = 0
+
+    def reset(self) -> None:
+        self._tag = 0
+
+    def instruction_cost(self) -> int:
+        return 40 + 9 * (self.spec.items_in + self.spec.items_out)
+
+    def work(self, inputs: Batch) -> Batch:
+        outputs = self.spec.fn(self._tag, list(inputs[0]))
+        if len(outputs) != self.spec.items_out:
+            raise ValueError(
+                f"step {self.name} produced {len(outputs)} items for tag "
+                f"{self._tag}, declared {self.spec.items_out}"
+            )
+        self._tag += 1
+        return [[w & 0xFFFFFFFF for w in outputs]]
+
+
+def build_tagged_program(
+    input_items: Sequence[int],
+    steps: Sequence[StepSpec],
+    sink_name: str = "result",
+) -> StreamProgram:
+    """Compile a chain of tagged steps into a runnable guarded program.
+
+    ``input_items`` supplies the tag-0..N-1 input groups of the first step
+    (its length must be a multiple of the first step's ``items_in``); each
+    tag flows through every step as one frame computation.
+    """
+    if not steps:
+        raise ValueError("need at least one step")
+    if len(input_items) % steps[0].items_in:
+        raise ValueError(
+            "input length must be a whole number of tag groups "
+            f"({steps[0].items_in} items per tag)"
+        )
+    nodes: list[Filter] = [
+        IntSource("tag_input", list(input_items), rate=steps[0].items_in)
+    ]
+    for upstream, downstream in zip(steps, steps[1:]):
+        if upstream.items_out != downstream.items_in:
+            raise ValueError(
+                f"step {downstream.name} consumes {downstream.items_in} items "
+                f"but {upstream.name} produces {upstream.items_out}"
+            )
+    nodes.extend(TaggedStep(spec) for spec in steps)
+    nodes.append(IntSink(sink_name, rate=steps[-1].items_out))
+    graph: StreamGraph = pipeline(nodes)
+    return StreamProgram.compile(graph)
+
+
+def grouped_reduce_step(
+    name: str,
+    group_size: int,
+    reducer: Callable[[int, list[int]], int],
+) -> StepSpec:
+    """A MapReduce-style reducer: one key (= tag) per group, one result.
+
+    The key identifies the group exactly as Section 8 describes; a lost or
+    duplicated group realigns at the next key instead of shifting every
+    subsequent reduction.
+    """
+    return StepSpec(
+        name=name,
+        items_in=group_size,
+        items_out=1,
+        fn=lambda tag, values: [reducer(tag, values) & 0xFFFFFFFF],
+    )
+
+
+def map_step(name: str, group_size: int, mapper: Callable[[int, int], int]) -> StepSpec:
+    """A MapReduce-style mapper applied element-wise within each tag group."""
+    return StepSpec(
+        name=name,
+        items_in=group_size,
+        items_out=group_size,
+        fn=lambda tag, values: [mapper(tag, v) & 0xFFFFFFFF for v in values],
+    )

@@ -1,0 +1,35 @@
+"""Multicore PPU machine simulator.
+
+The paper evaluates CommGuard in a Simics-based functional simulator: 10
+partially-protected (PPU) x86 cores, each with an independent register-file
+bit-flip error injector parameterized by mean-time-between-errors (MTBE),
+running one StreamIt thread per node with queue-based communication.
+
+This package is the equivalent substrate: per-core instruction clocks and
+exponential error arrivals (:mod:`errors`), the PPU execution guarantees of
+[32] (:mod:`ppu`), corruptible and reliable queue backends (:mod:`queues`),
+the resumable thread runtime (:mod:`thread`), and the system assembly and
+run loop (:mod:`system`) with four protection levels (:mod:`protection`).
+"""
+
+from repro.machine.errors import ErrorEvent, ErrorKind, ErrorInjector, ErrorModel
+from repro.machine.ppu import PPUModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.queues import ReliableQueue, SoftwareQueue
+from repro.machine.runstats import RunResult
+from repro.machine.system import MulticoreSystem, SystemConfig, run_program
+
+__all__ = [
+    "ErrorEvent",
+    "ErrorInjector",
+    "ErrorKind",
+    "ErrorModel",
+    "MulticoreSystem",
+    "PPUModel",
+    "ProtectionLevel",
+    "ReliableQueue",
+    "RunResult",
+    "SoftwareQueue",
+    "SystemConfig",
+    "run_program",
+]

@@ -1,0 +1,131 @@
+"""Architectural error injection.
+
+Section 6 of the paper: every core has an independent error-injection module
+with its own random number generator; it picks exponentially distributed
+target cycles at the configured per-core MTBE and flips a random bit in the
+register file when the target is reached.
+
+We inject at the architectural-effect level those register-file flips
+produce in a streaming thread (DESIGN.md §3): a flipped *data* register
+corrupts a value being computed or communicated; a flipped *loop-control*
+register perturbs an iteration count, changing how many items a firing
+pushes or pops (the paper's alignment-error sources); a flipped *address*
+register yields a garbage load — or, when the inter-thread queue's head/tail
+pointers live in unprotected state, a corrupted queue pointer (the paper's
+queue-management-error class).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class ErrorKind(enum.Enum):
+    """Architectural effect class of one injected register-file error."""
+
+    DATA = "data"          # value corruption: single bit flip in a live word
+    CONTROL = "control"    # bounded item-count perturbation (AE sources)
+    ADDRESS = "address"    # garbage load / queue-pointer corruption (QME)
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorEvent:
+    """One injected error, tagged with the core clock it landed on."""
+
+    kind: ErrorKind
+    at_instruction: int
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorModel:
+    """Per-core error process parameters.
+
+    ``mtbe``
+        Mean instructions between errors on *each* core (the paper's MTBE
+        axis: 64k .. 8192k instructions), or ``None`` for error-free cores.
+    ``p_masked``
+        Fraction of injected register-file flips that are architecturally
+        masked — they hit a dead register or a value that never reaches
+        program state, so they have no effect.  Fault-injection studies
+        (e.g. the AVF methodology the paper cites [23]) put masking well
+        above half; 0.8 is our calibrated default.
+    ``p_data`` / ``p_control`` / ``p_address``
+        Architectural-effect mix among the *unmasked* errors (must sum
+        to 1); defaults follow DESIGN.md §7.
+    """
+
+    mtbe: float | None
+    p_masked: float = 0.80
+    p_data: float = 0.60
+    p_control: float = 0.25
+    p_address: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.mtbe is not None and self.mtbe <= 0:
+            raise ValueError("mtbe must be positive (or None for error-free)")
+        if not 0.0 <= self.p_masked < 1.0:
+            raise ValueError("p_masked must be in [0, 1)")
+        total = self.p_data + self.p_control + self.p_address
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"effect probabilities sum to {total}, expected 1")
+
+    @classmethod
+    def error_free(cls) -> "ErrorModel":
+        return cls(mtbe=None)
+
+    @property
+    def enabled(self) -> bool:
+        return self.mtbe is not None
+
+
+class ErrorInjector:
+    """Per-core exponential error-arrival process.
+
+    The core advances the injector with its committed-instruction counts;
+    the injector returns the errors that landed inside each advance.  Each
+    core owns an independent :class:`random.Random` stream, so the MTBE is
+    per core, not per machine (Section 6).
+    """
+
+    def __init__(self, model: ErrorModel, seed: int, core_id: int) -> None:
+        self.model = model
+        self.core_id = core_id
+        self.rng = random.Random((seed << 8) ^ (core_id * 0x9E3779B1))
+        self.clock = 0
+        self.errors_injected = 0
+        self.errors_masked = 0
+        self._countdown = self._draw_gap() if model.enabled else None
+
+    def _draw_gap(self) -> float:
+        assert self.model.mtbe is not None
+        return self.rng.expovariate(1.0 / self.model.mtbe)
+
+    def advance(self, instructions: int) -> list[ErrorEvent]:
+        """Advance the core clock; return errors that landed in the window."""
+        if instructions < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.clock += instructions
+        if self._countdown is None:
+            return []
+        events: list[ErrorEvent] = []
+        self._countdown -= instructions
+        while self._countdown <= 0:
+            self.errors_injected += 1
+            if self.rng.random() < self.model.p_masked:
+                self.errors_masked += 1  # flip hit a dead register
+            else:
+                events.append(
+                    ErrorEvent(kind=self._draw_kind(), at_instruction=self.clock)
+                )
+            self._countdown += self._draw_gap()
+        return events
+
+    def _draw_kind(self) -> ErrorKind:
+        roll = self.rng.random()
+        if roll < self.model.p_data:
+            return ErrorKind.DATA
+        if roll < self.model.p_data + self.model.p_control:
+            return ErrorKind.CONTROL
+        return ErrorKind.ADDRESS

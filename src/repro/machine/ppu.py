@@ -1,0 +1,59 @@
+"""Partially-protected uniprocessor (PPU) execution guarantees.
+
+The paper builds on the guided-execution PPU cores of Yetim et al. (DATE'13,
+reference [32]): a small reliable protection module per core ensures that
+
+1. the thread *sequences correctly* from one coarse-grained control-flow
+   scope to the next (for StreamIt programs, a scope encompasses each frame
+   computation, Section 4.4),
+2. the thread never loops indefinitely inside a scope, and
+3. memory addressing stays confined — wrong addresses yield garbage values,
+   never crashes or wild writes outside the thread's region.
+
+In the simulator these guarantees appear as: every thread executes exactly
+its statically known sequence of frame computations (the thread runtime is
+structured that way), item-count perturbations from control-flow errors are
+*bounded* per firing, and address errors produce garbage words rather than
+faults.  This module holds the bounds and the garbage-value policy, and
+drives the ``active-fc`` signal the protection module exports to CommGuard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PPUModel:
+    """Bounds the PPU protection module enforces on error effects.
+
+    ``max_count_perturbation``
+        Largest per-firing item-count change a control-flow error can cause
+        before the scope guard forces re-convergence (small control-flow
+        perturbations, Section 3).
+    """
+
+    max_count_perturbation: int = 8
+
+    def clamp_count_delta(self, delta: int, rate: int) -> int:
+        """Clamp a raw item-count perturbation for a port of rate *rate*.
+
+        Negative deltas cannot exceed the rate itself (a firing cannot
+        un-pop), and both directions are bounded by the scope guard.
+        """
+        bound = min(self.max_count_perturbation, max(1, rate))
+        clamped = max(-bound, min(bound, delta))
+        return max(clamped, -rate)
+
+    def draw_count_delta(self, rng: random.Random, rate: int) -> int:
+        """Draw a bounded, nonzero item-count perturbation."""
+        bound = min(self.max_count_perturbation, max(1, rate))
+        magnitude = rng.randint(1, bound)
+        delta = magnitude if rng.random() < 0.5 else -magnitude
+        return self.clamp_count_delta(delta, rate)
+
+    @staticmethod
+    def garbage_word(rng: random.Random) -> int:
+        """Value returned by a confined-but-wrong-address load."""
+        return rng.getrandbits(32)

@@ -1,0 +1,35 @@
+"""Protection levels: the four system configurations of Figure 3.
+
+========================  =====================================================
+``ERROR_FREE``            Fig. 3a — no injected errors (reference).
+``PPU_ONLY``              Fig. 3b — error-prone PPU cores, StreamIt software
+                          queues whose head/tail pointers are corruptible.
+``PPU_RELIABLE_QUEUE``    Fig. 3c — error-prone PPU cores, fully-reliable data
+                          transmission; alignment errors persist.
+``COMMGUARD``             Fig. 3d — error-prone PPU cores with the CommGuard
+                          HI/AM/QM modules (this paper).
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProtectionLevel(enum.Enum):
+    ERROR_FREE = "error-free"
+    PPU_ONLY = "ppu-only"
+    PPU_RELIABLE_QUEUE = "ppu-reliable-queue"
+    COMMGUARD = "commguard"
+
+    @property
+    def uses_commguard(self) -> bool:
+        return self is ProtectionLevel.COMMGUARD
+
+    @property
+    def queue_pointers_corruptible(self) -> bool:
+        return self is ProtectionLevel.PPU_ONLY
+
+    @property
+    def injects_errors(self) -> bool:
+        return self is not ProtectionLevel.ERROR_FREE

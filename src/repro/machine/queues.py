@@ -1,0 +1,130 @@
+"""Raw inter-thread queue backends (the non-CommGuard baselines).
+
+Two backends mirror the paper's baseline configurations (Fig. 3):
+
+* :class:`SoftwareQueue` — the StreamIt concurrent queue: a ring buffer
+  whose head/tail pointers live in ordinary (unprotected) state.  An
+  address-class error can flip a bit in a pointer; subsequent operations
+  then read stale/garbage slots or get inconsistent full/empty views — the
+  paper's queue-management-error (QME) class, which corrupted Fig. 3b.
+* :class:`ReliableQueue` — an error-protected queue that always transfers
+  the right *count* of items (pointers immune).  Values pushed into it may
+  already be corrupt, and alignment errors pass straight through — which is
+  why Fig. 3c still fails without CommGuard.
+
+Both carry bare 32-bit words; headers exist only in the CommGuard path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.words import WORD_MASK
+
+
+class RawQueue:
+    """Interface shared by the raw word queues."""
+
+    def push(self, word: int) -> bool:
+        """Append a word; ``False`` when the queue appears full (block)."""
+        raise NotImplementedError
+
+    def pop(self) -> int | None:
+        """Remove the next word; ``None`` when the queue appears empty."""
+        raise NotImplementedError
+
+    def occupancy(self) -> int:
+        raise NotImplementedError
+
+    def corrupt_pointer(self, rng: random.Random) -> None:
+        """Flip a random bit in management state (no-op when protected)."""
+
+    @property
+    def peak_occupancy(self) -> int:
+        return getattr(self, "_peak", 0)
+
+    def _track_peak(self) -> None:
+        occupancy = self.occupancy()
+        if occupancy > getattr(self, "_peak", 0):
+            self._peak = occupancy
+
+
+class ReliableQueue(RawQueue):
+    """Bounded FIFO with fully-protected management state."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[int] = []
+        self._read = 0
+
+    def push(self, word: int) -> bool:
+        if self.occupancy() >= self.capacity:
+            return False
+        self._items.append(word & WORD_MASK)
+        self._track_peak()
+        return True
+
+    def pop(self) -> int | None:
+        if self._read >= len(self._items):
+            return None
+        word = self._items[self._read]
+        self._read += 1
+        if self._read > 4096:  # compact lazily
+            del self._items[: self._read]
+            self._read = 0
+        return word
+
+    def occupancy(self) -> int:
+        return len(self._items) - self._read
+
+    def corrupt_pointer(self, rng: random.Random) -> None:
+        """Management state is ECC-protected: corruption has no effect."""
+
+
+class SoftwareQueue(RawQueue):
+    """StreamIt-style ring buffer with corruptible head/tail pointers.
+
+    ``head`` and ``tail`` are free-running 32-bit counters; slot indices are
+    taken modulo the buffer size (the PPU confines addressing, so corrupt
+    pointers read garbage slots instead of faulting).  The occupancy view is
+    ``(tail - head) mod 2**32`` capped at the buffer, so a single flipped
+    pointer bit can make the queue look empty, look full, or replay stale
+    slots — the paper's QME failure modes, including deadlock.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer = [0] * capacity
+        self.head = 0  # next slot to pop (corruptible word)
+        self.tail = 0  # next slot to push (corruptible word)
+
+    def occupancy(self) -> int:
+        return (self.tail - self.head) & WORD_MASK
+
+    def push(self, word: int) -> bool:
+        if self.occupancy() >= self.capacity:
+            return False
+        self._buffer[self.tail % self.capacity] = word & WORD_MASK
+        self.tail = (self.tail + 1) & WORD_MASK
+        if (occupancy := min(self.occupancy(), self.capacity)) > getattr(self, "_peak", 0):
+            self._peak = occupancy
+        return True
+
+    def pop(self) -> int | None:
+        if self.occupancy() == 0:
+            return None
+        word = self._buffer[self.head % self.capacity]
+        self.head = (self.head + 1) & WORD_MASK
+        return word
+
+    def corrupt_pointer(self, rng: random.Random) -> None:
+        """Flip a random bit of head or tail (a QME-class error)."""
+        bit = 1 << rng.randrange(32)
+        if rng.random() < 0.5:
+            self.head = (self.head ^ bit) & WORD_MASK
+        else:
+            self.tail = (self.tail ^ bit) & WORD_MASK

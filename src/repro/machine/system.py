@@ -1,0 +1,259 @@
+"""System assembly and cooperative run loop.
+
+:func:`MulticoreSystem.build` compiles a :class:`StreamProgram` onto a
+simulated multiprocessor under one of the four protection levels: it
+partitions nodes onto cores, instantiates the per-edge queue backends
+(corruptible software queues, reliable queues, or CommGuard's guarded
+queues), wires the CommGuard modules when enabled, and creates one
+:class:`~repro.machine.thread.NodeThread` per node.
+
+The run loop sweeps the cores round-robin, letting each thread run until it
+blocks.  A sweep in which nothing progressed means the system is stuck on
+queue state (e.g. a corrupted software queue that looks simultaneously full
+and empty); after a few such sweeps the QM timeout fires and blocked
+operations complete with pad/drop semantics (Section 5.1), so runs always
+terminate — possibly with garbage output, which is precisely the baseline
+behaviour of Figs. 3b/3c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CommGuardConfig
+from repro.core.guard import CommGuard
+from repro.core.queue_manager import GuardedQueue, plan_geometry
+from repro.machine.core import SimCore
+from repro.machine.errors import ErrorInjector, ErrorModel
+from repro.machine.ppu import PPUModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.queues import RawQueue, ReliableQueue, SoftwareQueue
+from repro.machine.runstats import RunResult
+from repro.machine.thread import CommPath, GuardedCommPath, NodeThread, RawCommPath
+from repro.streamit.filters import IntSink
+from repro.streamit.partition import partition_graph
+from repro.streamit.program import StreamProgram
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Machine-level parameters.
+
+    ``n_cores`` follows the paper's 10-core evaluation system.
+    ``frame_stall_cycles`` is the pipeline-serialization cost CommGuard pays
+    at each frame-computation boundary (Section 5.3; a typical pipeline
+    depth).  ``spin_instructions`` is the cost a blocked thread burns per
+    fruitless sweep.  ``timeout_sweeps`` is how many consecutive no-progress
+    sweeps arm the QM timeout.  ``max_sweeps`` is a hard safety stop.
+    """
+
+    n_cores: int = 10
+    frame_stall_cycles: int = 14
+    spin_instructions: int = 50
+    timeout_sweeps: int = 3
+    max_sweeps: int = 50_000_000
+
+
+class MulticoreSystem:
+    """A built, runnable machine instance (single use: build, run, inspect)."""
+
+    def __init__(
+        self,
+        program: StreamProgram,
+        protection: ProtectionLevel,
+        cores: list[SimCore],
+        config: SystemConfig,
+    ) -> None:
+        self.program = program
+        self.protection = protection
+        self.cores = cores
+        self.config = config
+        #: qid -> queue backend, for occupancy collection (set by build()).
+        self._queues: dict[int, object] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        program: StreamProgram,
+        protection: ProtectionLevel,
+        error_model: ErrorModel | None = None,
+        seed: int = 0,
+        commguard_config: CommGuardConfig | None = None,
+        system_config: SystemConfig | None = None,
+        ppu: PPUModel | None = None,
+        edge_frame_scales: dict[int, int] | None = None,
+    ) -> "MulticoreSystem":
+        """Build a runnable machine.
+
+        ``edge_frame_scales`` optionally maps edge qids to frame-size
+        scales, enabling Section 5.4's varying frame definitions across an
+        application (edges not listed use ``commguard_config.frame_scale``).
+        """
+        config = system_config or SystemConfig()
+        cg_config = commguard_config or CommGuardConfig()
+        edge_frame_scales = edge_frame_scales or {}
+        ppu = ppu or PPUModel()
+        if protection is ProtectionLevel.ERROR_FREE:
+            error_model = ErrorModel.error_free()
+        elif error_model is None:
+            raise ValueError(f"protection {protection} requires an error model")
+
+        graph = program.graph
+        graph.reset()
+        assignment = partition_graph(graph, config.n_cores, program.frames)
+        injectors = {
+            core_id: ErrorInjector(error_model, seed, core_id)
+            for core_id in range(config.n_cores)
+        }
+
+        guarded = protection.uses_commguard
+        raw_queues: dict[int, RawQueue] = {}
+        guarded_queues: dict[int, GuardedQueue] = {}
+        for edge in graph.edges:
+            edge_scale = edge_frame_scales.get(edge.qid, cg_config.frame_scale)
+            items_per_frame = program.frames.items_per_frame[edge.qid] * edge_scale
+            if guarded:
+                geometry = plan_geometry(
+                    edge.push_rate,
+                    edge.pop_rate,
+                    items_per_frame,
+                    workset_units=cg_config.workset_units,
+                )
+                guarded_queues[edge.qid] = GuardedQueue(edge.qid, geometry)
+            else:
+                capacity = (
+                    max(2 * edge.push_rate, 2 * edge.pop_rate, items_per_frame, 64) + 4
+                )
+                queue_cls = (
+                    SoftwareQueue
+                    if protection.queue_pointers_corruptible
+                    else ReliableQueue
+                )
+                raw_queues[edge.qid] = queue_cls(capacity)
+
+        cores = [SimCore(core_id, injectors[core_id]) for core_id in range(config.n_cores)]
+        all_queues: dict[int, object] = dict(guarded_queues or raw_queues)
+        for node in graph.nodes:
+            in_edges = graph.in_edges(node)
+            out_edges = graph.out_edges(node)
+            comm: CommPath
+            if guarded:
+                guard = CommGuard(cg_config)
+                for edge in in_edges:
+                    guard.attach_incoming(
+                        guarded_queues[edge.qid],
+                        frame_scale=edge_frame_scales.get(edge.qid),
+                    )
+                for edge in out_edges:
+                    guard.attach_outgoing(
+                        guarded_queues[edge.qid],
+                        frame_scale=edge_frame_scales.get(edge.qid),
+                    )
+                comm = GuardedCommPath(
+                    guard,
+                    in_qids=[e.qid for e in in_edges],
+                    out_qids=[e.qid for e in out_edges],
+                )
+            else:
+                comm = RawCommPath(
+                    incoming=[raw_queues[e.qid] for e in in_edges],
+                    outgoing=[raw_queues[e.qid] for e in out_edges],
+                    corruptible=protection.queue_pointers_corruptible,
+                )
+            core = cores[assignment[node]]
+            thread = NodeThread(
+                node=node,
+                comm=comm,
+                n_frames=program.n_frames,
+                firings_per_frame=program.frames.firings_per_frame[node],
+                injector=core.injector,
+                ppu=ppu,
+                frame_stall_cycles=config.frame_stall_cycles if guarded else 0,
+            )
+            core.threads.append(thread)
+        system = cls(program, protection, cores, config)
+        system._queues = all_queues
+        return system
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute to completion; always terminates (timeouts guarantee it)."""
+        threads = [t for core in self.cores for t in core.threads]
+        result = RunResult(frame_stall_cycles=self.config.frame_stall_cycles)
+        sweeps = 0
+        stuck_sweeps = 0
+        while not all(t.done for t in threads):
+            sweeps += 1
+            if sweeps > self.config.max_sweeps:
+                result.hung = True
+                break
+            progressed = False
+            for thread in threads:
+                if thread.done:
+                    continue
+                before = thread.progress_token()
+                thread.step()
+                if thread.progress_token() != before:
+                    progressed = True
+            if progressed:
+                stuck_sweeps = 0
+                continue
+            # Nothing moved: blocked threads spin (exposing queue state to
+            # spin-time errors) and, after timeout_sweeps, the QM timeout arms.
+            stuck_sweeps += 1
+            for thread in threads:
+                if not thread.done:
+                    thread.spin(self.config.spin_instructions)
+            if stuck_sweeps >= self.config.timeout_sweeps:
+                for thread in threads:
+                    if not thread.done:
+                        thread.force_unblock = True
+                        result.forced_unblocks += 1
+                stuck_sweeps = 0
+        result.sweeps = sweeps
+        self._collect(result)
+        return result
+
+    def _collect(self, result: RunResult) -> None:
+        for core in self.cores:
+            for thread in core.threads:
+                result.thread_counters[thread.node.name] = thread.counters
+            result.errors_injected += core.injector.errors_injected
+        for node in self.program.graph.sinks():
+            if isinstance(node, IntSink):
+                result.outputs[node.name] = node.collected
+        for qid, queue in self._queues.items():
+            peak = getattr(queue, "peak_units", None)
+            if peak is None:
+                peak = getattr(queue, "peak_occupancy", 0)
+            result.queue_peaks[qid] = int(peak)
+
+
+def run_program(
+    program: StreamProgram,
+    protection: ProtectionLevel,
+    mtbe: float | None = None,
+    seed: int = 0,
+    commguard_config: CommGuardConfig | None = None,
+    system_config: SystemConfig | None = None,
+    error_model: ErrorModel | None = None,
+) -> RunResult:
+    """Convenience wrapper: build a system and run it once.
+
+    ``mtbe`` is the per-core mean instructions between errors (ignored for
+    ``ERROR_FREE``); pass ``error_model`` instead for a custom effect mix.
+    """
+    if error_model is None and protection.injects_errors:
+        error_model = ErrorModel(mtbe=mtbe)
+    system = MulticoreSystem.build(
+        program,
+        protection,
+        error_model=error_model,
+        seed=seed,
+        commguard_config=commguard_config,
+        system_config=system_config,
+    )
+    return system.run()

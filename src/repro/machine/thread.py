@@ -1,0 +1,359 @@
+"""Thread runtime: one stream-graph node executing on a simulated core.
+
+A :class:`NodeThread` runs its filter's statically known plan — for each of
+``n_frames`` frame computations, fire ``firings_per_frame`` times — exactly
+as a PPU-guided StreamIt thread would (scope sequencing is guaranteed, so
+the plan's *shape* survives errors; only the data and per-firing item counts
+are perturbed).
+
+The thread body is a generator that yields whenever a queue operation
+blocks, which makes every push/pop resumable across scheduler quanta.  The
+communication path is pluggable (:class:`RawCommPath` for the baseline
+queues, :class:`GuardedCommPath` for CommGuard), so the same thread code
+runs under every protection level of Fig. 3.
+
+Error application: before each firing the thread drains its core's error
+injector for the firing's instruction window and converts the drawn
+register-file errors into their architectural effects — bit flips in live
+input/output/state words (DATA), bounded item-count perturbations (CONTROL),
+garbage loads or queue-pointer corruption (ADDRESS).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.guard import CommGuard
+from repro.core.stats import ThreadCounters
+from repro.machine.errors import ErrorInjector, ErrorKind
+from repro.machine.ppu import PPUModel
+from repro.machine.queues import RawQueue
+from repro.streamit.filters import Filter
+from repro.words import flip_bit
+
+
+class CommPath:
+    """Communication interface a thread drives (one per thread)."""
+
+    def on_frame_start(self) -> None:
+        """Frame-computation rollover (signalled by the protection module)."""
+
+    def advance_frame_start(self) -> bool:
+        """Drain frame-boundary work (header insertion); True when done."""
+        return True
+
+    def push(self, port: int, word: int) -> bool:
+        raise NotImplementedError
+
+    def pop(self, port: int) -> int | None:
+        raise NotImplementedError
+
+    def on_end(self) -> None:
+        """Outermost scope exited."""
+
+    def advance_end(self) -> bool:
+        """Drain end-of-computation work (EOC headers, flush); True when done."""
+        return True
+
+    def corrupt_management_state(self, rng: random.Random) -> bool:
+        """Apply a queue-pointer corruption if this path has unprotected
+        management state; returns whether anything was corrupted."""
+        return False
+
+
+class RawCommPath(CommPath):
+    """Direct queue access (ERROR_FREE / PPU_ONLY / PPU_RELIABLE_QUEUE)."""
+
+    def __init__(
+        self, incoming: list[RawQueue], outgoing: list[RawQueue], corruptible: bool
+    ) -> None:
+        self._incoming = incoming
+        self._outgoing = outgoing
+        self._corruptible = corruptible
+
+    def push(self, port: int, word: int) -> bool:
+        return self._outgoing[port].push(word)
+
+    def pop(self, port: int) -> int | None:
+        return self._incoming[port].pop()
+
+    def corrupt_management_state(self, rng: random.Random) -> bool:
+        if not self._corruptible:
+            return False
+        queues: list[RawQueue] = [*self._incoming, *self._outgoing]
+        if not queues:
+            return False
+        rng.choice(queues).corrupt_pointer(rng)
+        return True
+
+
+class GuardedCommPath(CommPath):
+    """Communication through the CommGuard modules."""
+
+    def __init__(self, guard: CommGuard, in_qids: list[int], out_qids: list[int]) -> None:
+        self.guard = guard
+        self._in_qids = in_qids
+        self._out_qids = out_qids
+
+    def on_frame_start(self) -> None:
+        self.guard.on_new_frame_computation()
+
+    def advance_frame_start(self) -> bool:
+        return self.guard.advance_header_insertions()
+
+    def push(self, port: int, word: int) -> bool:
+        return self.guard.push(self._out_qids[port], word)
+
+    def pop(self, port: int) -> int | None:
+        return self.guard.pop(self._in_qids[port])
+
+    def on_end(self) -> None:
+        self.guard.on_end_of_computation()
+
+    def advance_end(self) -> bool:
+        return self.guard.advance_header_insertions()
+
+
+@dataclass(slots=True)
+class _FiringPlan:
+    """Architectural effects of the errors landing in one firing."""
+
+    input_bitflips: int = 0
+    output_bitflips: int = 0
+    state_bitflips: int = 0
+    garbage_loads: int = 0
+    pop_deltas: dict[int, int] = field(default_factory=dict)
+    push_deltas: dict[int, int] = field(default_factory=dict)
+    pointer_corruptions: int = 0
+
+
+class NodeThread:
+    """One stream node running as a thread pinned to a simulated core."""
+
+    def __init__(
+        self,
+        node: Filter,
+        comm: CommPath,
+        n_frames: int,
+        firings_per_frame: int,
+        injector: ErrorInjector,
+        ppu: PPUModel,
+        frame_stall_cycles: int = 0,
+    ) -> None:
+        self.node = node
+        self.comm = comm
+        self.n_frames = n_frames
+        self.firings_per_frame = firings_per_frame
+        self.injector = injector
+        self.ppu = ppu
+        self.frame_stall_cycles = frame_stall_cycles
+        self.counters = ThreadCounters()
+        if isinstance(comm, GuardedCommPath):
+            # Share the guard's stats object so aggregation sees both.
+            self.counters.commguard = comm.guard.stats
+        self.done = False
+        self.force_unblock = False
+        self._timeout_mode = False  # sticky for the rest of the current firing
+        self._gen: Iterator[None] = self._run()
+
+    # -- scheduler interface ----------------------------------------------------
+
+    def step(self) -> str:
+        """Run until the thread blocks or finishes: "blocked" | "done"."""
+        if self.done:
+            return "done"
+        try:
+            next(self._gen)
+        except StopIteration:
+            self.done = True
+            return "done"
+        return "blocked"
+
+    def progress_token(self) -> int:
+        """Monotone counter that changes iff the thread did observable work."""
+        c = self.counters
+        return (
+            c.committed_instructions
+            + c.items_popped
+            + c.items_pushed
+            + c.commguard.qm_push_local
+            + c.commguard.pads
+            + c.commguard.discarded_items
+            + c.commguard.timeouts
+        )
+
+    def spin(self, instructions: int) -> None:
+        """Account blocked-spinning time and its error exposure."""
+        self.counters.spin_instructions += instructions
+        for event in self.injector.advance(instructions):
+            if event.kind is ErrorKind.ADDRESS:
+                self.comm.corrupt_management_state(self.injector.rng)
+
+    # -- thread body --------------------------------------------------------------
+
+    def _run(self) -> Iterator[None]:
+        for _frame in range(self.n_frames):
+            self.comm.on_frame_start()
+            self.counters.frame_computations += 1
+            self.counters.stall_cycles += self.frame_stall_cycles
+            while not self.comm.advance_frame_start():
+                if self._consume_force_unblock():
+                    break
+                yield
+            self._timeout_mode = False
+            for _firing in range(self.firings_per_frame):
+                yield from self._fire()
+        self.comm.on_end()
+        while not self.comm.advance_end():
+            if self._consume_force_unblock():
+                break
+            yield
+
+    def _consume_force_unblock(self) -> bool:
+        """One blocking operation timed out (Section 5.1's QM timeouts).
+
+        Timeout mode stays on for the rest of the current firing so a thread
+        whose peer is dead limps through the firing with pad/drop semantics
+        instead of re-blocking on every word.
+        """
+        if self.force_unblock or self._timeout_mode:
+            self.force_unblock = False
+            self._timeout_mode = True
+            self.counters.commguard.timeouts += 1
+            return True
+        return False
+
+    def _fire(self) -> Iterator[None]:
+        node = self.node
+        cost = node.instruction_cost()
+        plan = self._plan_errors(self.injector.advance(cost))
+        rng = self.injector.rng
+
+        # 1. Pop inputs (with control-error count perturbations).
+        inputs: list[list[int]] = []
+        for port, rate in enumerate(node.input_rates):
+            delta = plan.pop_deltas.get(port, 0)
+            n = max(0, rate + delta)
+            words: list[int] = []
+            while len(words) < n:
+                word = self.comm.pop(port)
+                if word is None:
+                    if self._consume_force_unblock():
+                        word = 0
+                    else:
+                        yield
+                        continue
+                words.append(word)
+            self.counters.items_popped += n
+            self.counters.memory.loads += n
+            if n < rate:
+                words = words + [0] * (rate - n)
+            elif n > rate:
+                words = words[:rate]
+            inputs.append(words)
+        self.counters.memory.loads += node.memory_loads()
+
+        # 2. Apply data/addressing effects on live input and state words.
+        flat_inputs = [(p, i) for p, port in enumerate(inputs) for i in range(len(port))]
+        for _ in range(plan.input_bitflips):
+            if flat_inputs:
+                p, i = rng.choice(flat_inputs)
+                inputs[p][i] = flip_bit(inputs[p][i], rng.randrange(32))
+        for _ in range(plan.garbage_loads):
+            if flat_inputs:
+                p, i = rng.choice(flat_inputs)
+                inputs[p][i] = self.ppu.garbage_word(rng)
+        for _ in range(plan.state_bitflips):
+            state = node.state_words()
+            if state:
+                idx = rng.randrange(len(state))
+                node.write_state_word(idx, flip_bit(state[idx], rng.randrange(32)))
+        for _ in range(plan.pointer_corruptions):
+            self.comm.corrupt_management_state(rng)
+
+        # 3. Compute.
+        outputs = node.work(inputs)
+        if len(outputs) != node.n_outputs or any(
+            len(port) != rate for port, rate in zip(outputs, node.output_rates)
+        ):
+            raise RuntimeError(
+                f"filter {node.name} produced wrong batch shape: "
+                f"{[len(p) for p in outputs]} vs rates {node.output_rates}"
+            )
+
+        # 4. Apply output data effects and count perturbations; push.
+        flat_outputs = [
+            (p, i) for p, port in enumerate(outputs) for i in range(len(port))
+        ]
+        for _ in range(plan.output_bitflips):
+            if flat_outputs:
+                p, i = rng.choice(flat_outputs)
+                outputs[p][i] = flip_bit(outputs[p][i], rng.randrange(32))
+        for port, rate in enumerate(node.output_rates):
+            words = outputs[port]
+            delta = plan.push_deltas.get(port, 0)
+            n = max(0, rate + delta)
+            if n < rate:
+                words = words[:n]
+            elif n > rate:
+                filler = words[-1] if words else 0
+                words = words + [filler] * (n - rate)
+            for word in words:
+                while not self.comm.push(port, word):
+                    if self._consume_force_unblock():
+                        break  # timed out: drop the item
+                    yield
+            self.counters.items_pushed += n
+            self.counters.memory.stores += n
+        self.counters.memory.stores += node.memory_stores()
+
+        self.counters.committed_instructions += cost
+        self.counters.firings += 1
+        self._timeout_mode = False
+
+    # -- error planning --------------------------------------------------------------
+
+    def _plan_errors(self, events: list) -> _FiringPlan:
+        plan = _FiringPlan()
+        if not events:
+            return plan
+        node = self.node
+        rng = self.injector.rng
+        has_state = bool(node.state_words())
+        for event in events:
+            if event.kind is ErrorKind.DATA:
+                targets = []
+                if node.n_inputs:
+                    targets.append("in")
+                if node.n_outputs:
+                    targets.append("out")
+                if has_state:
+                    targets.append("state")
+                choice = rng.choice(targets) if targets else "out"
+                if choice == "in":
+                    plan.input_bitflips += 1
+                elif choice == "state":
+                    plan.state_bitflips += 1
+                else:
+                    plan.output_bitflips += 1
+            elif event.kind is ErrorKind.CONTROL:
+                # Perturb the item count of one random port of this firing.
+                ports: list[tuple[str, int, int]] = [
+                    ("pop", p, r) for p, r in enumerate(node.input_rates)
+                ] + [("push", p, r) for p, r in enumerate(node.output_rates)]
+                if not ports:
+                    continue
+                side, port, rate = rng.choice(ports)
+                delta = self.ppu.draw_count_delta(rng, rate)
+                target = plan.pop_deltas if side == "pop" else plan.push_deltas
+                target[port] = self.ppu.clamp_count_delta(
+                    target.get(port, 0) + delta, rate
+                )
+            else:  # ADDRESS
+                if self.comm.corrupt_management_state(rng):
+                    plan.pointer_corruptions += 0  # applied immediately
+                else:
+                    plan.garbage_loads += 1
+        return plan

@@ -1,0 +1,23 @@
+"""Output-quality measurement and synthetic media inputs.
+
+The paper measures lossiness with signal-to-noise ratio (SNR) for audio and
+peak-SNR (PSNR) for images (Section 6), comparing error-prone outputs either
+against the raw input (for the lossy codecs jpeg/mp3, where the error-free
+lossy decode sets the quality baseline) or against the error-free run's
+output (for the other four benchmarks, whose error-free SNR is infinity).
+"""
+
+from repro.quality.audio import multitone_signal, speech_like_signal
+from repro.quality.images import synthetic_image, write_pgm, write_ppm
+from repro.quality.metrics import align_lengths, psnr_db, snr_db
+
+__all__ = [
+    "align_lengths",
+    "multitone_signal",
+    "psnr_db",
+    "snr_db",
+    "speech_like_signal",
+    "synthetic_image",
+    "write_pgm",
+    "write_ppm",
+]

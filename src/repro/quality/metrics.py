@@ -1,0 +1,68 @@
+"""SNR / PSNR metrics (Section 6 of the paper)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def align_lengths(
+    reference: Sequence[float] | np.ndarray,
+    measured: Sequence[float] | np.ndarray,
+    fill: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate *measured* to the reference length.
+
+    Degraded baseline runs can lose or duplicate output items; quality is
+    always judged over the reference's extent, with missing data scored as
+    *fill* (silence / black).
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    out = np.asarray(measured, dtype=np.float64)
+    if out.shape[0] < ref.shape[0]:
+        out = np.concatenate(
+            [out, np.full(ref.shape[0] - out.shape[0], fill, dtype=np.float64)]
+        )
+    elif out.shape[0] > ref.shape[0]:
+        out = out[: ref.shape[0]]
+    return ref, out
+
+
+def snr_db(
+    reference: Sequence[float] | np.ndarray,
+    measured: Sequence[float] | np.ndarray,
+) -> float:
+    """Signal-to-noise ratio in dB: 10*log10(sum(ref^2) / sum((ref-out)^2)).
+
+    Returns ``inf`` for identical signals; large negative values mean the
+    output is mostly noise (the paper's near-0 dB floor for garbled runs).
+    Non-finite measured samples (a bit flip can produce inf/NaN float words)
+    are treated as maximally wrong but kept finite so the metric stays usable.
+    """
+    ref, out = align_lengths(reference, measured)
+    out = np.nan_to_num(
+        out, nan=0.0, posinf=np.finfo(np.float32).max, neginf=np.finfo(np.float32).min
+    )
+    signal = float(np.sum(ref * ref))
+    noise = float(np.sum((ref - out) ** 2))
+    if noise == 0.0:
+        return math.inf
+    if signal == 0.0:
+        return -math.inf
+    return 10.0 * math.log10(signal / noise)
+
+
+def psnr_db(
+    reference: Sequence[float] | np.ndarray,
+    measured: Sequence[float] | np.ndarray,
+    max_value: float = 255.0,
+) -> float:
+    """Peak signal-to-noise ratio in dB for images (per-pixel range 0..max)."""
+    ref, out = align_lengths(reference, measured)
+    out = np.nan_to_num(out, nan=0.0, posinf=max_value, neginf=0.0)
+    mse = float(np.mean((ref - out) ** 2))
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(max_value * max_value / mse)

@@ -1,0 +1,55 @@
+"""StreamIt-like streaming-dataflow substrate.
+
+The paper's benchmarks are StreamIt programs: graphs of coarse-grained
+filters connected by producer-consumer edges with statically declared
+per-firing push/pop rates, supporting pipeline, split-join (data) and do-all
+parallelism.  This package provides that substrate: filter and graph
+definitions (:mod:`filters`, :mod:`graph`), structured builders
+(:mod:`builders`), the synchronous-dataflow steady-state scheduler
+(:mod:`scheduling`), the frame analysis of Section 2.2 (:mod:`frames`), the
+cluster-backend partitioner that maps one thread per node onto cores
+(:mod:`partition`) and the :class:`~repro.streamit.program.StreamProgram`
+bundle the machine simulator executes.
+"""
+
+from repro.streamit.builders import pipeline, split_join
+from repro.streamit.filters import (
+    Filter,
+    FloatFilter,
+    FloatSink,
+    FloatSource,
+    Identity,
+    IntSink,
+    IntSource,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+    DuplicateSplitter,
+)
+from repro.streamit.frames import FrameAnalysis, edge_frame_analysis
+from repro.streamit.graph import Edge, StreamGraph
+from repro.streamit.partition import partition_graph
+from repro.streamit.program import StreamProgram
+from repro.streamit.scheduling import SchedulingError, steady_state_repetitions
+
+__all__ = [
+    "DuplicateSplitter",
+    "Edge",
+    "Filter",
+    "FloatFilter",
+    "FloatSink",
+    "FloatSource",
+    "FrameAnalysis",
+    "Identity",
+    "IntSink",
+    "IntSource",
+    "RoundRobinJoiner",
+    "RoundRobinSplitter",
+    "SchedulingError",
+    "StreamGraph",
+    "StreamProgram",
+    "edge_frame_analysis",
+    "partition_graph",
+    "pipeline",
+    "split_join",
+    "steady_state_repetitions",
+]

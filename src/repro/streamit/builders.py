@@ -1,0 +1,87 @@
+"""Structured graph builders: pipelines and split-joins.
+
+StreamIt composes programs from pipelines and split-joins; these helpers
+build the equivalent :class:`~repro.streamit.graph.StreamGraph` wiring.
+Filters with multiple declared ports can also be connected manually for
+topologies like the paper's jpeg graph (Fig. 1), where F2 fans out to
+F3R/F3G/F3B and F4 joins them without dedicated splitter nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.streamit.filters import (
+    DuplicateSplitter,
+    Filter,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+)
+from repro.streamit.graph import StreamGraph
+
+
+def pipeline(filters: Sequence[Filter], graph: StreamGraph | None = None) -> StreamGraph:
+    """Connect single-input/single-output filters in a chain."""
+    if not filters:
+        raise ValueError("pipeline needs at least one filter")
+    graph = graph or StreamGraph()
+    for f in filters:
+        if f not in graph.nodes:
+            graph.add_node(f)
+    for upstream, downstream in zip(filters, filters[1:]):
+        graph.connect(upstream, downstream)
+    return graph
+
+
+def split_join(
+    graph: StreamGraph,
+    upstream: Filter,
+    branches: Sequence[Sequence[Filter] | Filter],
+    downstream: Filter,
+    split: str = "duplicate",
+    join_weights: Sequence[int] | None = None,
+    split_weights: Sequence[int] | None = None,
+    name: str = "sj",
+) -> tuple[Filter, Filter]:
+    """Wire a split-join between *upstream* and *downstream*.
+
+    *branches* are filters or filter chains.  ``split`` is ``"duplicate"``
+    or ``"roundrobin"``; weights default to each branch's boundary rates.
+    Returns the created (splitter, joiner) nodes.
+    """
+    chains: list[list[Filter]] = [
+        list(b) if isinstance(b, (list, tuple)) else [b] for b in branches
+    ]
+    if not chains:
+        raise ValueError("split_join needs at least one branch")
+    heads = [c[0] for c in chains]
+    tails = [c[-1] for c in chains]
+    if split == "duplicate":
+        rates = {h.input_rates[0] for h in heads}
+        if len(rates) != 1:
+            raise ValueError("duplicate split requires equal branch input rates")
+        splitter: Filter = DuplicateSplitter(
+            f"{name}_split", n_branches=len(chains), rate=rates.pop()
+        )
+    elif split == "roundrobin":
+        weights = list(split_weights or (h.input_rates[0] for h in heads))
+        splitter = RoundRobinSplitter(f"{name}_split", weights)
+    else:
+        raise ValueError(f"unknown split kind {split!r}")
+    joiner = RoundRobinJoiner(
+        f"{name}_join", list(join_weights or (t.output_rates[0] for t in tails))
+    )
+    graph.add_node(splitter)
+    graph.add_node(joiner)
+    for chain in chains:
+        for f in chain:
+            if f not in graph.nodes:
+                graph.add_node(f)
+        for a, b in zip(chain, chain[1:]):
+            graph.connect(a, b)
+    graph.connect(upstream, splitter)
+    for port, (head, tail) in enumerate(zip(heads, tails)):
+        graph.connect(splitter, head, src_port=port)
+        graph.connect(tail, joiner, dst_port=port)
+    graph.connect(joiner, downstream)
+    return splitter, joiner

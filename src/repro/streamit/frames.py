@@ -1,0 +1,77 @@
+"""Frame analysis: linking control flow to communicated item groups.
+
+Section 2.2 of the paper: from the statically declared push/pop rates one
+can relate groups of producer firings to groups of items and transitively to
+groups of consumer firings.  The paper's Figure 2 example — F6 pushes 192
+items per firing, F7 pops 15360 — yields 15360-item frames formed by 80 F6
+firings and consumed by 1 F7 firing.
+
+Application-wide, a *frame computation* is one steady-state iteration: every
+node fires its repetition count and every edge carries an exact whole number
+of frames' worth of items.  :class:`FrameAnalysis` packages that mapping for
+CommGuard: per-node firings per frame and per-edge items per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import lcm
+
+from repro.streamit.filters import Filter
+from repro.streamit.graph import StreamGraph
+from repro.streamit.scheduling import steady_state_repetitions, verify_balanced
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeFrameRelation:
+    """The Fig. 2 relation for one edge in isolation."""
+
+    items_per_frame: int
+    producer_firings: int
+    consumer_firings: int
+
+
+def edge_frame_analysis(push_rate: int, pop_rate: int) -> EdgeFrameRelation:
+    """Minimal aligned item group for one edge (Fig. 2's math).
+
+    The smallest group of items corresponding to exact multiples of firings
+    on both sides is ``lcm(push, pop)`` items.
+    """
+    if push_rate < 1 or pop_rate < 1:
+        raise ValueError("rates must be positive")
+    items = lcm(push_rate, pop_rate)
+    return EdgeFrameRelation(
+        items_per_frame=items,
+        producer_firings=items // push_rate,
+        consumer_firings=items // pop_rate,
+    )
+
+
+@dataclass(frozen=True)
+class FrameAnalysis:
+    """Application-wide frame definitions (one frame = one steady state)."""
+
+    firings_per_frame: dict[Filter, int]
+    items_per_frame: dict[int, int]  # edge qid -> items
+
+    @classmethod
+    def of(cls, graph: StreamGraph) -> "FrameAnalysis":
+        reps = steady_state_repetitions(graph)
+        verify_balanced(graph, reps)
+        items = {e.qid: reps[e.src] * e.push_rate for e in graph.edges}
+        return cls(firings_per_frame=reps, items_per_frame=items)
+
+    def frame_items_ratio(self, graph: StreamGraph) -> float:
+        """Average items per frame across edges (jpeg's ~7k in Section 7.1)."""
+        if not self.items_per_frame:
+            return 0.0
+        return sum(self.items_per_frame.values()) / len(self.items_per_frame)
+
+    def instructions_per_frame(self, node: Filter) -> int:
+        """Estimated committed instructions in one frame computation of *node*."""
+        return self.firings_per_frame[node] * node.instruction_cost()
+
+    def median_instructions_per_frame(self, graph: StreamGraph) -> int:
+        """Median across threads (the paper quotes 72 and 33 for the smallest)."""
+        costs = sorted(self.instructions_per_frame(n) for n in graph.nodes)
+        return costs[len(costs) // 2]

@@ -1,0 +1,148 @@
+"""Stream graph: filters connected by producer-consumer edges.
+
+A :class:`StreamGraph` is a DAG of :class:`~repro.streamit.filters.Filter`
+nodes.  Each edge connects one output *port* of a producer to one input
+*port* of a consumer; per-firing rates are declared by the filters.  The
+graph validates that every declared port is connected exactly once — the
+static producer/consumer relationships CommGuard exploits (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streamit.filters import Filter
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One producer-consumer queue in the graph."""
+
+    qid: int
+    src: Filter
+    src_port: int
+    dst: Filter
+    dst_port: int
+
+    @property
+    def push_rate(self) -> int:
+        """Words the producer pushes onto this edge per firing."""
+        return self.src.output_rates[self.src_port]
+
+    @property
+    def pop_rate(self) -> int:
+        """Words the consumer pops from this edge per firing."""
+        return self.dst.input_rates[self.dst_port]
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge(q{self.qid}: {self.src.name}[{self.src_port}] "
+            f"--{self.push_rate}/{self.pop_rate}--> "
+            f"{self.dst.name}[{self.dst_port}])"
+        )
+
+
+class StreamGraph:
+    """A validated streaming computation graph."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Filter] = []
+        self.edges: list[Edge] = []
+        self._names: set[str] = set()
+
+    def add_node(self, node: Filter) -> Filter:
+        """Add a filter; names must be unique (they identify threads)."""
+        if node.name in self._names:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._names.add(node.name)
+        self.nodes.append(node)
+        return node
+
+    def connect(
+        self, src: Filter, dst: Filter, src_port: int = 0, dst_port: int = 0
+    ) -> Edge:
+        """Connect ``src``'s output port to ``dst``'s input port."""
+        for node in (src, dst):
+            if node not in self.nodes:
+                raise ValueError(f"node {node.name!r} not added to graph")
+        if not 0 <= src_port < src.n_outputs:
+            raise ValueError(f"{src.name} has no output port {src_port}")
+        if not 0 <= dst_port < dst.n_inputs:
+            raise ValueError(f"{dst.name} has no input port {dst_port}")
+        for edge in self.edges:
+            if edge.src is src and edge.src_port == src_port:
+                raise ValueError(f"{src.name} output {src_port} already connected")
+            if edge.dst is dst and edge.dst_port == dst_port:
+                raise ValueError(f"{dst.name} input {dst_port} already connected")
+        edge = Edge(len(self.edges), src, src_port, dst, dst_port)
+        self.edges.append(edge)
+        return edge
+
+    # -- structure queries -------------------------------------------------------
+
+    def in_edges(self, node: Filter) -> list[Edge]:
+        """Incoming edges of *node*, ordered by input port."""
+        return sorted(
+            (e for e in self.edges if e.dst is node), key=lambda e: e.dst_port
+        )
+
+    def out_edges(self, node: Filter) -> list[Edge]:
+        """Outgoing edges of *node*, ordered by output port."""
+        return sorted(
+            (e for e in self.edges if e.src is node), key=lambda e: e.src_port
+        )
+
+    def sources(self) -> list[Filter]:
+        return [n for n in self.nodes if n.n_inputs == 0]
+
+    def sinks(self) -> list[Filter]:
+        return [n for n in self.nodes if n.n_outputs == 0]
+
+    def node_by_name(self, name: str) -> Filter:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def validate(self) -> None:
+        """Check every declared port is connected and the graph is acyclic."""
+        for node in self.nodes:
+            in_ports = {e.dst_port for e in self.in_edges(node)}
+            out_ports = {e.src_port for e in self.out_edges(node)}
+            if in_ports != set(range(node.n_inputs)):
+                raise ValueError(
+                    f"node {node.name}: input ports {sorted(in_ports)} connected, "
+                    f"expected {node.n_inputs}"
+                )
+            if out_ports != set(range(node.n_outputs)):
+                raise ValueError(
+                    f"node {node.name}: output ports {sorted(out_ports)} connected, "
+                    f"expected {node.n_outputs}"
+                )
+        if not self.sources():
+            raise ValueError("graph has no source node")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list[Filter]:
+        """Nodes in a topological order; raises ``ValueError`` on a cycle."""
+        indegree = {node: len(self.in_edges(node)) for node in self.nodes}
+        ready = [node for node in self.nodes if indegree[node] == 0]
+        order: list[Filter] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for edge in self.out_edges(node):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self.nodes):
+            raise ValueError("stream graph contains a cycle")
+        return order
+
+    def reset(self) -> None:
+        """Reset all filters' persistent state before a run."""
+        for node in self.nodes:
+            node.reset()
+
+    def __repr__(self) -> str:
+        return f"StreamGraph(nodes={len(self.nodes)}, edges={len(self.edges)})"

@@ -1,0 +1,80 @@
+"""StreamProgram: the compiled bundle the machine simulator executes.
+
+A program is a validated graph plus its steady-state schedule, frame
+analysis and total frame count.  The frame count is derived from the
+source filters' preloaded data: a source holding N items at rate r and
+firing k times per frame supplies ``N / (r * k)`` frames.  Because PPU
+cores guarantee scope sequencing (Section 4.4), every thread executes
+exactly this many frame computations regardless of injected errors —
+which is what makes error effects ephemeral rather than cumulative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streamit.filters import Filter, IntSink, IntSource
+from repro.streamit.frames import FrameAnalysis
+from repro.streamit.graph import StreamGraph
+
+
+@dataclass(frozen=True)
+class StreamProgram:
+    """A graph ready to run: schedule, frames, and total frame count."""
+
+    graph: StreamGraph
+    frames: FrameAnalysis
+    n_frames: int
+
+    @classmethod
+    def compile(cls, graph: StreamGraph) -> "StreamProgram":
+        """Validate, schedule and size a graph into a runnable program."""
+        graph.validate()
+        frames = FrameAnalysis.of(graph)
+        n_frames = _derive_frame_count(graph, frames)
+        return cls(graph=graph, frames=frames, n_frames=n_frames)
+
+    def firings_of(self, node: Filter) -> int:
+        """Total firings of *node* over the whole run."""
+        return self.frames.firings_per_frame[node] * self.n_frames
+
+    def expected_output_lengths(self) -> dict[str, int]:
+        """Expected per-sink item counts for an error-free run."""
+        lengths: dict[str, int] = {}
+        for node in self.graph.sinks():
+            if isinstance(node, IntSink):
+                total = sum(
+                    self.firings_of(node) * rate for rate in node.input_rates
+                )
+                lengths[node.name] = total
+        return lengths
+
+    def total_instruction_estimate(self) -> int:
+        """Estimated committed instructions for the whole run, all threads."""
+        return sum(
+            self.firings_of(node) * node.instruction_cost()
+            for node in self.graph.nodes
+        )
+
+
+def _derive_frame_count(graph: StreamGraph, frames: FrameAnalysis) -> int:
+    """Frame count implied by the sources' preloaded data."""
+    counts: set[int] = set()
+    for node in graph.sources():
+        total_firings = getattr(node, "total_firings", None)
+        if total_firings is None:
+            raise TypeError(
+                f"source {node.name} must expose total_firings (e.g. an "
+                "IntSource/FloatSource with preloaded data) to derive the "
+                "run length"
+            )
+        per_frame = frames.firings_per_frame[node]
+        if total_firings % per_frame:
+            raise ValueError(
+                f"source {node.name}: {total_firings} firings is not a whole "
+                f"number of frames ({per_frame} firings per frame); pad the input"
+            )
+        counts.add(total_firings // per_frame)
+    if len(counts) != 1:
+        raise ValueError(f"sources disagree on frame count: {sorted(counts)}")
+    return counts.pop()

@@ -1,0 +1,83 @@
+"""Synchronous-dataflow steady-state scheduling.
+
+StreamIt graphs are synchronous dataflow (SDF): fixed per-firing rates make
+it possible to solve the *balance equations* — for every edge,
+``firings(src) * push_rate == firings(dst) * pop_rate`` — for the minimal
+integer repetition vector.  One period of that vector is a *steady-state
+iteration*; the paper's "frame computations" are exactly the per-node firing
+groups of one steady-state iteration (Section 2.2), so this solver is the
+foundation of CommGuard's frame analysis.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+
+from repro.streamit.filters import Filter
+from repro.streamit.graph import StreamGraph
+
+
+class SchedulingError(Exception):
+    """Raised when the balance equations have no consistent solution."""
+
+
+def steady_state_repetitions(graph: StreamGraph) -> dict[Filter, int]:
+    """Solve the SDF balance equations for the minimal repetition vector.
+
+    Returns the number of firings of each node per steady-state iteration.
+    Raises :class:`SchedulingError` for rate-inconsistent graphs and
+    ``ValueError`` for disconnected graphs.
+    """
+    if not graph.nodes:
+        raise ValueError("empty graph")
+    rates: dict[Filter, Fraction] = {graph.nodes[0]: Fraction(1)}
+    # Propagate relative firing rates across edges (undirected traversal).
+    frontier = [graph.nodes[0]]
+    while frontier:
+        node = frontier.pop()
+        for edge in graph.out_edges(node):
+            implied = rates[node] * edge.push_rate / edge.pop_rate
+            if edge.dst in rates:
+                if rates[edge.dst] != implied:
+                    raise SchedulingError(
+                        f"inconsistent rates at edge {edge!r}: "
+                        f"{rates[edge.dst]} vs {implied}"
+                    )
+            else:
+                rates[edge.dst] = implied
+                frontier.append(edge.dst)
+        for edge in graph.in_edges(node):
+            implied = rates[node] * edge.pop_rate / edge.push_rate
+            if edge.src in rates:
+                if rates[edge.src] != implied:
+                    raise SchedulingError(
+                        f"inconsistent rates at edge {edge!r}: "
+                        f"{rates[edge.src]} vs {implied}"
+                    )
+            else:
+                rates[edge.src] = implied
+                frontier.append(edge.src)
+    if len(rates) != len(graph.nodes):
+        missing = [n.name for n in graph.nodes if n not in rates]
+        raise ValueError(f"graph is disconnected; unreached nodes: {missing}")
+    scale = lcm(*(r.denominator for r in rates.values()))
+    counts = {node: int(r * scale) for node, r in rates.items()}
+    shrink = gcd(*counts.values())
+    return {node: c // shrink for node, c in counts.items()}
+
+
+def verify_balanced(graph: StreamGraph, reps: dict[Filter, int]) -> None:
+    """Assert the repetition vector balances every edge (test helper)."""
+    for edge in graph.edges:
+        produced = reps[edge.src] * edge.push_rate
+        consumed = reps[edge.dst] * edge.pop_rate
+        if produced != consumed:
+            raise SchedulingError(
+                f"unbalanced edge {edge!r}: produces {produced}, consumes {consumed}"
+            )
+
+
+def steady_state_items(graph: StreamGraph, reps: dict[Filter, int]) -> dict[int, int]:
+    """Items crossing each edge (by qid) per steady-state iteration."""
+    return {e.qid: reps[e.src] * e.push_rate for e in graph.edges}

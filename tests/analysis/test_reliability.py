@@ -1,0 +1,152 @@
+"""Tests for the Rely-style reliability calculus, incl. simulation validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import FrameReliabilityModel, clean_frame_fraction
+from repro.apps.jpeg import build_jpeg_app
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+
+
+def tiny_program(n=64):
+    graph = pipeline(
+        [
+            IntSource("src", list(range(n)), rate=1),
+            Identity("mid"),
+            IntSink("snk"),
+        ]
+    )
+    return StreamProgram.compile(graph)
+
+
+def model(mtbe=10_000, **kwargs):
+    defaults = dict(p_masked=0.5, p_data=0.6, p_control=0.25, p_address=0.15)
+    defaults.update(kwargs)
+    return FrameReliabilityModel(
+        program=tiny_program(), error_model=ErrorModel(mtbe=mtbe, **defaults), mtbe=mtbe
+    )
+
+
+class TestClosedForms:
+    def test_mu_total_scales_with_mtbe(self):
+        assert model(mtbe=10_000).mu_total() == pytest.approx(
+            2 * model(mtbe=20_000).mu_total()
+        )
+
+    def test_masking_reduces_mu(self):
+        assert model(p_masked=0.9).mu_total() < model(p_masked=0.1).mu_total()
+
+    def test_class_split(self):
+        m = model()
+        assert m.mu_alignment() + m.mu_data() == pytest.approx(m.mu_total())
+
+    def test_guarded_reliability_constant_and_bounded(self):
+        m = model()
+        r = m.guarded_frame_reliability()
+        assert 0.0 < r < 1.0
+        assert m.guarded_clean_fraction() == r
+
+    def test_unprotected_decays_geometrically(self):
+        m = model()
+        r0 = m.unprotected_frame_reliability(0)
+        r1 = m.unprotected_frame_reliability(1)
+        r5 = m.unprotected_frame_reliability(5)
+        assert r0 > r1 > r5
+        assert r1 / r0 == pytest.approx(r5 / m.unprotected_frame_reliability(4))
+
+    def test_guarded_beats_unprotected_everywhere_past_frame_zero(self):
+        m = model()
+        assert m.guarded_clean_fraction() > m.unprotected_clean_fraction()
+        assert m.protection_gain() > 1.0
+
+    def test_no_alignment_errors_no_gain(self):
+        """With purely data errors, CommGuard's isolation buys nothing."""
+        m = model(p_data=1.0, p_control=0.0, p_address=0.0)
+        assert m.unprotected_clean_fraction() == pytest.approx(
+            m.guarded_clean_fraction()
+        )
+        assert m.protection_gain() == pytest.approx(1.0)
+
+    def test_error_free_limit(self):
+        m = model(mtbe=1e15)
+        assert m.guarded_clean_fraction() == pytest.approx(1.0)
+        assert m.unprotected_clean_fraction() == pytest.approx(1.0, abs=1e-6)
+
+    def test_mtbe_inversion_roundtrip(self):
+        m = model()
+        target = 0.9
+        needed = m.mtbe_for_target_reliability(target)
+        rebuilt = FrameReliabilityModel(m.program, m.error_model, needed)
+        assert rebuilt.guarded_frame_reliability() == pytest.approx(target)
+
+    def test_validation_helpers(self):
+        assert clean_frame_fraction(10, 7) == 0.7
+        with pytest.raises(ValueError):
+            clean_frame_fraction(0, 0)
+        with pytest.raises(ValueError):
+            model().unprotected_frame_reliability(-1)
+        with pytest.raises(ValueError):
+            model().mtbe_for_target_reliability(1.5)
+        with pytest.raises(ValueError):
+            FrameReliabilityModel(tiny_program(), ErrorModel(mtbe=1), mtbe=0)
+
+
+class TestSimulationValidation:
+    """The analytical clean-frame fractions must track measured ones."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        app = build_jpeg_app(width=96, height=96, quality=85)
+        mtbe = 600_000
+        error_model = ErrorModel(mtbe=mtbe, p_masked=0.5)
+        analytical = FrameReliabilityModel(app.program, error_model, mtbe)
+        return app, error_model, analytical
+
+    def _measure_clean_fraction(self, app, level, error_model, seeds=4):
+        reference = app.error_free_output()
+        rows = reference.shape[0] // 8
+        fractions = []
+        for seed in range(seeds):
+            result = run_program(app.program, level, error_model=error_model, seed=seed)
+            out = app.output_signal(result)
+            clean = sum(
+                1
+                for r in range(rows)
+                if np.array_equal(out[r * 8 : r * 8 + 8], reference[r * 8 : r * 8 + 8])
+            )
+            fractions.append(clean_frame_fraction(rows, clean))
+        return float(np.mean(fractions))
+
+    def test_guarded_prediction_tracks_simulation(self, setup):
+        app, error_model, analytical = setup
+        predicted = analytical.guarded_clean_fraction()
+        measured = self._measure_clean_fraction(
+            app, ProtectionLevel.COMMGUARD, error_model
+        )
+        assert abs(predicted - measured) < 0.25
+
+    def test_unprotected_prediction_tracks_simulation(self, setup):
+        app, error_model, analytical = setup
+        predicted = analytical.unprotected_clean_fraction()
+        measured = self._measure_clean_fraction(
+            app, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model
+        )
+        assert abs(predicted - measured) < 0.30
+
+    def test_ordering_prediction_holds(self, setup):
+        app, error_model, analytical = setup
+        guarded = self._measure_clean_fraction(
+            app, ProtectionLevel.COMMGUARD, error_model
+        )
+        unprotected = self._measure_clean_fraction(
+            app, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model
+        )
+        assert analytical.guarded_clean_fraction() > analytical.unprotected_clean_fraction()
+        assert guarded > unprotected

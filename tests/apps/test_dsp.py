@@ -1,0 +1,177 @@
+"""Tests for the shared DSP filter library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.dsp import (
+    BitReverseReorder,
+    ButterflyStage,
+    ComplexFirFilter,
+    FirFilter,
+    Gain,
+    WeightedCombiner,
+    bandpass_taps,
+    lowpass_taps,
+)
+from repro.words import float_to_word, word_to_float
+
+
+def freq_response(taps, freq):
+    """|H(f)| of an FIR at normalized frequency f."""
+    n = np.arange(len(taps))
+    return abs(np.sum(np.asarray(taps) * np.exp(-2j * np.pi * freq * n)))
+
+
+class TestTapDesign:
+    def test_lowpass_passband_and_stopband(self):
+        taps = lowpass_taps(63, 0.1)
+        assert freq_response(taps, 0.0) == pytest.approx(1.0, abs=0.02)
+        assert freq_response(taps, 0.05) > 0.9
+        assert freq_response(taps, 0.25) < 0.01
+
+    def test_bandpass_selective(self):
+        taps = bandpass_taps(63, 0.1, 0.2)
+        assert freq_response(taps, 0.15) > 0.9
+        assert freq_response(taps, 0.02) < 0.05
+        assert freq_response(taps, 0.35) < 0.05
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            lowpass_taps(33, 0.0)
+        with pytest.raises(ValueError):
+            lowpass_taps(33, 0.6)
+
+
+def run_filter(filt, samples):
+    out = []
+    rate = filt.input_rates[0]
+    for i in range(0, len(samples), rate):
+        words = [float_to_word(v) for v in samples[i : i + rate]]
+        result = filt.work([words])
+        out.extend(word_to_float(w) for w in result[0])
+    return np.asarray(out)
+
+
+class TestFirFilter:
+    def test_matches_numpy_convolution(self):
+        taps = [0.5, 0.25, -0.125, 0.0625]
+        filt = FirFilter("f", taps, rate=1)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100).astype(np.float32).astype(float)
+        y = run_filter(filt, x)
+        expected = np.convolve(x, taps)[: len(x)]
+        assert np.allclose(y, expected, atol=1e-5)
+
+    def test_state_persists_across_firings(self):
+        filt = FirFilter("f", [1.0, 1.0])
+        assert run_filter(filt, [1.0])[0] == pytest.approx(1.0)
+        assert run_filter(filt, [0.0])[0] == pytest.approx(1.0)  # remembers
+
+    def test_reset_clears_history(self):
+        filt = FirFilter("f", [1.0, 1.0])
+        run_filter(filt, [5.0])
+        filt.reset()
+        assert run_filter(filt, [0.0])[0] == 0.0
+
+    def test_state_words_roundtrip(self):
+        filt = FirFilter("f", [1.0, 1.0, 1.0])
+        run_filter(filt, [1.0, 2.0])
+        words = filt.state_words()
+        assert len(words) == 2
+        filt.write_state_word(0, float_to_word(9.0))
+        assert filt.state_words()[0] == float_to_word(9.0)
+
+    def test_batch_rate_matches_per_sample(self):
+        taps = [0.3, -0.2, 0.1]
+        a = FirFilter("a", taps, rate=1)
+        b = FirFilter("b", taps, rate=4)
+        x = list(np.linspace(-1, 1, 32))
+        assert np.allclose(run_filter(a, x), run_filter(b, x), atol=1e-6)
+
+    def test_decimation(self):
+        filt = FirFilter("d", [1.0], rate=1, decimation=2)
+        y = run_filter(filt, [1.0, 2.0, 3.0, 4.0])
+        assert list(y) == [1.0, 3.0]
+
+    def test_cost_scales_with_taps(self):
+        small = FirFilter("s", [1.0] * 8)
+        big = FirFilter("b", [1.0] * 64)
+        assert big.instruction_cost() > small.instruction_cost()
+
+
+class TestComplexFir:
+    def test_matches_complex_convolution(self):
+        taps = [1 + 1j, 0.5 - 0.25j, -0.125j]
+        filt = ComplexFirFilter("c", taps)
+        rng = np.random.default_rng(1)
+        x = (rng.standard_normal(50) + 1j * rng.standard_normal(50)).astype(
+            np.complex64
+        ).astype(complex)
+        interleaved = []
+        for v in x:
+            interleaved += [v.real, v.imag]
+        y = run_filter(filt, interleaved)
+        got = np.asarray(y[0::2]) + 1j * np.asarray(y[1::2])
+        expected = np.convolve(x, taps)[: len(x)]
+        assert np.allclose(got, expected, atol=1e-4)
+
+    def test_state_words_interleaved(self):
+        filt = ComplexFirFilter("c", [1, 1j, -1])
+        assert len(filt.state_words()) == 4  # 2 complex history entries
+        filt.write_state_word(1, float_to_word(3.0))
+        assert filt.state_words()[1] == float_to_word(3.0)
+
+
+class TestSimpleStages:
+    def test_gain(self):
+        g = Gain("g", 2.0, rate=2)
+        assert run_filter(g, [1.0, -3.0]).tolist() == [2.0, -6.0]
+
+    def test_weighted_combiner(self):
+        c = WeightedCombiner("c", [0.5, 0.5])
+        out = c.work([[float_to_word(2.0), float_to_word(4.0)]])
+        assert word_to_float(out[0][0]) == pytest.approx(3.0)
+
+
+class TestFftStages:
+    def fft_graph_output(self, x):
+        """Run data through reorder + all butterfly stages manually."""
+        n = len(x)
+        words = []
+        for v in x:
+            words += [float_to_word(v.real), float_to_word(v.imag)]
+        stage_out = BitReverseReorder("r", n).work([words])[0]
+        for s in range(1, n.bit_length()):
+            stage_out = ButterflyStage(f"b{s}", n, s).work([stage_out])[0]
+        return np.array(
+            [
+                word_to_float(stage_out[2 * i]) + 1j * word_to_float(stage_out[2 * i + 1])
+                for i in range(n)
+            ]
+        )
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_matches_numpy_fft(self, n):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = x.astype(np.complex64).astype(complex)
+        got = self.fft_graph_output(x)
+        assert np.allclose(got, np.fft.fft(x), atol=1e-3)
+
+    def test_bitreverse_is_involution(self):
+        reorder = BitReverseReorder("r", 16)
+        words = [float_to_word(float(i)) for i in range(32)]
+        twice = reorder.work([reorder.work([words])[0]])[0]
+        assert twice == words
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BitReverseReorder("r", 12)
+
+    def test_impulse_transform_flat(self):
+        x = np.zeros(8, dtype=complex)
+        x[0] = 1.0
+        got = self.fft_graph_output(x)
+        assert np.allclose(got, np.ones(8), atol=1e-5)

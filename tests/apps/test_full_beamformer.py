@@ -1,0 +1,73 @@
+"""Tests for the full GMTI-style beamformer variant (21 nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.audiobeamformer import build_audiobeamformer_app
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import MulticoreSystem, run_program
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_audiobeamformer_app(n_frames=512, variant="full")
+
+
+class TestTopology:
+    def test_node_count(self, app):
+        assert len(app.program.graph.nodes) == 21
+
+    def test_more_nodes_than_cores_packs_threads(self, app):
+        system = MulticoreSystem.build(app.program, ProtectionLevel.ERROR_FREE)
+        per_core = [len(core.threads) for core in system.cores]
+        assert sum(per_core) == 21
+        assert max(per_core) >= 3  # some cores time-slice several threads
+
+    def test_beam_count_configurable(self):
+        app3 = build_audiobeamformer_app(n_frames=256, variant="full", n_beams=3)
+        names = {n.name for n in app3.program.graph.nodes}
+        assert {"beamform0", "beamform1", "beamform2"} <= names
+
+    def test_steady_state_all_unit_rate(self, app):
+        reps = app.program.frames.firings_per_frame
+        assert set(reps.values()) == {1}
+
+
+class TestBehaviour:
+    def test_error_free_guarded_transparent(self, app):
+        plain = run_program(app.program, ProtectionLevel.ERROR_FREE)
+        guarded = run_program(app.program, ProtectionLevel.COMMGUARD, mtbe=None)
+        assert plain.outputs == guarded.outputs
+
+    def test_detector_output_is_smooth_nonnegative(self, app):
+        result = run_program(app.program, ProtectionLevel.ERROR_FREE)
+        signal = app.output_signal(result)
+        assert np.all(signal >= 0.0)
+        assert np.max(signal) > 0.0
+
+    def test_full_length_under_errors(self, app):
+        result = run_program(
+            app.program, ProtectionLevel.COMMGUARD, mtbe=30_000, seed=3
+        )
+        assert not result.hung
+        assert len(result.outputs["sink"]) == 512
+
+    def test_commguard_beats_baseline_with_control_errors(self, app):
+        from repro.machine.errors import ErrorModel
+
+        model = ErrorModel(
+            mtbe=60_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        qualities = {}
+        for level in (ProtectionLevel.COMMGUARD, ProtectionLevel.PPU_RELIABLE_QUEUE):
+            values = [
+                min(app.quality(
+                    run_program(app.program, level, error_model=model, seed=seed)
+                ), 96.0)
+                for seed in range(3)
+            ]
+            qualities[level] = float(np.mean(values))
+        assert (
+            qualities[ProtectionLevel.COMMGUARD]
+            >= qualities[ProtectionLevel.PPU_RELIABLE_QUEUE]
+        )

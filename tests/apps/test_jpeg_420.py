@@ -1,0 +1,110 @@
+"""Tests for the 4:2:0 chroma-subsampled jpeg variant."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jpeg import build_jpeg_app
+from repro.apps.jpeg.codec import (
+    assemble_y16,
+    decode_image,
+    encode_image,
+    parse_header,
+    subsample_chroma,
+    upsample_chroma_block,
+)
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+from repro.quality.images import synthetic_image
+from repro.quality.metrics import psnr_db
+
+
+class TestChromaHelpers:
+    def test_subsample_is_box_average(self):
+        plane = np.arange(16, dtype=float).reshape(4, 4)
+        sub = subsample_chroma(plane)
+        assert sub.shape == (2, 2)
+        assert sub[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_upsample_nearest_neighbour(self):
+        block = list(range(64))
+        up = upsample_chroma_block(block)
+        assert len(up) == 256
+        assert up[0] == up[1] == up[16] == up[17] == block[0]
+        assert up[2] == block[1]
+
+    def test_subsample_upsample_constant_plane_exact(self):
+        plane = np.full((16, 16), 99.0)
+        sub = subsample_chroma(plane)
+        up = upsample_chroma_block([int(v) for v in sub.reshape(64)])
+        assert all(v == 99 for v in up)
+
+    def test_assemble_y16_block_placement(self):
+        blocks = [[k] * 64 for k in range(4)]
+        y16 = assemble_y16(blocks)
+        assert y16[0] == 0          # top-left
+        assert y16[8] == 1          # top-right
+        assert y16[8 * 16] == 2     # bottom-left
+        assert y16[8 * 16 + 8] == 3  # bottom-right
+
+
+class TestCodec420:
+    def test_header_records_mode(self):
+        image = synthetic_image(32, 32)
+        header, _ = parse_header(encode_image(image, subsampling="420"))
+        assert header.subsampling == "420"
+        header, _ = parse_header(encode_image(image))
+        assert header.subsampling == "444"
+
+    def test_420_compresses_better(self):
+        image = synthetic_image(64, 48)
+        full = encode_image(image, quality=85, subsampling="444")
+        sub = encode_image(image, quality=85, subsampling="420")
+        assert len(sub) < len(full)
+
+    def test_420_quality_reasonable(self):
+        image = synthetic_image(64, 48)
+        decoded = decode_image(encode_image(image, quality=85, subsampling="420"))
+        assert psnr_db(image.astype(float).ravel(), decoded.astype(float).ravel()) > 20
+
+    def test_dimension_requirements(self):
+        with pytest.raises(ValueError, match="16"):
+            encode_image(synthetic_image(24, 24), subsampling="420")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            encode_image(synthetic_image(32, 32), subsampling="422")
+
+
+class TestGraph420:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_jpeg_app(width=64, height=32, quality=85, subsampling="420")
+
+    def test_eleven_nodes(self, app):
+        assert len(app.program.graph.nodes) == 11
+        names = {n.name for n in app.program.graph.nodes}
+        assert "F2U_upsample" in names
+
+    def test_streaming_matches_reference(self, app):
+        result = run_program(app.program, ProtectionLevel.ERROR_FREE)
+        reference = decode_image(
+            encode_image(synthetic_image(64, 32), quality=85, subsampling="420")
+        )
+        assert np.array_equal(app.output_signal(result).astype(np.uint8), reference)
+
+    def test_frames_are_16px_rows(self, app):
+        assert app.program.n_frames == 32 // 16
+
+    def test_guarded_under_errors_full_length(self, app):
+        result = run_program(
+            app.program, ProtectionLevel.COMMGUARD, mtbe=60_000, seed=2
+        )
+        assert not result.hung
+        assert len(result.outputs["F7_rows"]) == 64 * 32 * 3
+
+    def test_444_stream_rejected_by_420_graph(self):
+        from repro.apps.jpeg.graph420 import build_jpeg420_graph
+
+        encoded = encode_image(synthetic_image(32, 32), subsampling="444")
+        with pytest.raises(ValueError, match="not 4:2:0"):
+            build_jpeg420_graph(encoded)

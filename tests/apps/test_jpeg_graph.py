@@ -1,0 +1,99 @@
+"""Tests for the streaming jpeg decoder graph (Fig. 1 / Fig. 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jpeg import build_jpeg_app
+from repro.apps.jpeg.codec import decode_image, encode_image
+from repro.apps.jpeg.graph import build_jpeg_graph
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+from repro.quality.images import synthetic_image
+from repro.streamit.frames import FrameAnalysis, edge_frame_analysis
+from repro.streamit.program import StreamProgram
+
+
+@pytest.fixture(scope="module")
+def small_app():
+    return build_jpeg_app(width=48, height=32, quality=85)
+
+
+class TestTopology:
+    def test_ten_nodes_as_in_fig1(self, small_app):
+        assert len(small_app.program.graph.nodes) == 10
+
+    def test_f6_pushes_192_per_firing(self, small_app):
+        """Fig. 2: F6 produces 192 items per firing (8x8 pixels x RGB)."""
+        f6 = small_app.program.graph.node_by_name("F6_format")
+        assert f6.output_rates == (192,)
+
+    def test_f7_pops_one_block_row(self, small_app):
+        f7 = small_app.program.graph.node_by_name("F7_rows")
+        assert f7.input_rates == (48 // 8 * 192,)
+
+    def test_paper_width_gives_15360_item_frames(self):
+        """At the paper's 640-pixel width, F7 pops 15360 items per firing
+        and one frame is 80 F6 firings (Fig. 2's exact numbers)."""
+        image = synthetic_image(640, 8)
+        graph = build_jpeg_graph(encode_image(image, quality=75))
+        f7 = graph.node_by_name("F7_rows")
+        assert f7.input_rates == (15360,)
+        relation = edge_frame_analysis(192, 15360)
+        assert relation.producer_firings == 80
+        program = StreamProgram.compile(graph)
+        f6 = graph.node_by_name("F6_format")
+        assert program.frames.firings_per_frame[f6] == 80
+        assert program.frames.firings_per_frame[f7] == 1
+
+    def test_frames_are_block_rows(self, small_app):
+        """One frame computation = one 8-pixel-high output row (Fig. 7)."""
+        assert small_app.program.n_frames == 32 // 8
+
+
+class TestEquivalence:
+    """DESIGN.md invariant 5 for jpeg."""
+
+    def test_streaming_matches_reference_decoder(self, small_app):
+        result = run_program(small_app.program, ProtectionLevel.ERROR_FREE)
+        streamed = small_app.output_signal(result).astype(np.uint8)
+        reference = decode_image(encode_image(synthetic_image(48, 32), quality=85))
+        assert np.array_equal(streamed, reference)
+
+    def test_guarded_error_free_identical(self, small_app):
+        plain = run_program(small_app.program, ProtectionLevel.ERROR_FREE)
+        guarded = run_program(small_app.program, ProtectionLevel.COMMGUARD, mtbe=None)
+        assert plain.outputs == guarded.outputs
+
+    def test_baseline_quality_reasonable(self, small_app):
+        assert 25.0 < small_app.baseline_quality() < 45.0
+
+
+class TestUnderErrors:
+    def test_commguard_beats_reliable_queue_on_misalignment(self):
+        from repro.machine.errors import ErrorModel
+
+        app = build_jpeg_app(width=96, height=64, quality=85)
+        model = ErrorModel(
+            mtbe=150_000, p_masked=0.0, p_data=0.1, p_control=0.8, p_address=0.1
+        )
+        guarded, unguarded = [], []
+        for seed in range(3):
+            g = run_program(
+                app.program, ProtectionLevel.COMMGUARD, error_model=model, seed=seed
+            )
+            u = run_program(
+                app.program,
+                ProtectionLevel.PPU_RELIABLE_QUEUE,
+                error_model=model,
+                seed=seed,
+            )
+            guarded.append(app.quality(g))
+            unguarded.append(app.quality(u))
+        assert np.mean(guarded) > np.mean(unguarded) + 3.0
+
+    def test_output_size_preserved_under_errors(self):
+        app = build_jpeg_app(width=48, height=32, quality=85)
+        result = run_program(
+            app.program, ProtectionLevel.COMMGUARD, mtbe=50_000, seed=1
+        )
+        assert len(result.outputs["F7_rows"]) == 48 * 32 * 3

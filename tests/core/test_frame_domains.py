@@ -1,0 +1,127 @@
+"""Tests for Section 5.4's varying frame definitions (frame domains).
+
+The paper's default is one application-wide frame definition; its extension
+allows different frame sizes in different parts of the application, at the
+cost of one redundant active-fc counter per frame domain.  These tests run
+a 3-stage pipeline whose two edges use different frame scales and check the
+extension end to end.
+"""
+
+import pytest
+
+from repro.core.config import CommGuardConfig
+from repro.core.guard import CommGuard, _FrameDomain
+from repro.core.queue_manager import GuardedQueue, QueueGeometry
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import MulticoreSystem
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+
+
+class TestFrameDomain:
+    def test_scale_one_counts_every_invocation(self):
+        domain = _FrameDomain(1)
+        fcs = []
+        for _ in range(4):
+            assert domain.on_frame_computation()
+            fcs.append(domain.active_fc)
+        assert fcs == [0, 1, 2, 3]
+
+    def test_scale_three_downsamples(self):
+        domain = _FrameDomain(3)
+        boundaries = [domain.on_frame_computation() for _ in range(9)]
+        assert boundaries == [True, False, False] * 3
+        assert domain.active_fc == 2
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            _FrameDomain(0)
+
+
+class TestGuardWithMixedScales:
+    def test_domains_shared_by_equal_scale(self):
+        guard = CommGuard(CommGuardConfig())
+        q0 = GuardedQueue(0, QueueGeometry(4, 64))
+        q1 = GuardedQueue(1, QueueGeometry(4, 64))
+        q2 = GuardedQueue(2, QueueGeometry(4, 64))
+        guard.attach_outgoing(q0, frame_scale=2)
+        guard.attach_outgoing(q1, frame_scale=2)
+        guard.attach_outgoing(q2, frame_scale=4)
+        assert guard._domains[0] is guard._domains[1]
+        assert guard._domains[0] is not guard._domains[2]
+
+    def test_headers_follow_each_domain(self):
+        guard = CommGuard(CommGuardConfig())
+        fast = GuardedQueue(0, QueueGeometry(4, 64))
+        slow = GuardedQueue(1, QueueGeometry(4, 64))
+        guard.attach_outgoing(fast, frame_scale=1)
+        guard.attach_outgoing(slow, frame_scale=4)
+        for _ in range(8):
+            guard.on_new_frame_computation()
+            assert guard.advance_header_insertions()
+        stats = guard.stats
+        # fast edge: one header per invocation; slow edge: every 4th.
+        from repro.core.header import header_frame_id
+
+        drained_fast, drained_slow = [], []
+        while (u := fast.pop_unit(stats)) is not None:
+            drained_fast.append(header_frame_id(u))
+        while (u := slow.pop_unit(stats)) is not None:
+            drained_slow.append(header_frame_id(u))
+        assert drained_fast == list(range(8))
+        assert drained_slow == [0, 1]
+
+    def test_extra_domain_costs_storage(self):
+        guard = CommGuard(CommGuardConfig())
+        guard.attach_outgoing(GuardedQueue(0, QueueGeometry(4, 64)), frame_scale=1)
+        single = guard.reliable_storage_bits()
+        guard.attach_outgoing(GuardedQueue(1, QueueGeometry(4, 64)), frame_scale=8)
+        from repro.core.qit import QITEntry
+
+        assert (
+            guard.reliable_storage_bits()
+            == single + QITEntry.STORAGE_BITS_PER_ENTRY + 2 * 32
+        )
+
+
+class TestMixedScaleSystem:
+    def make_program(self, n=128):
+        graph = pipeline(
+            [
+                IntSource("src", list(range(n)), rate=1),
+                Identity("mid", rate=1),
+                IntSink("snk", rate=1),
+            ]
+        )
+        return StreamProgram.compile(graph)
+
+    def test_error_free_transparent_with_mixed_scales(self):
+        program = self.make_program()
+        system = MulticoreSystem.build(
+            program,
+            ProtectionLevel.COMMGUARD,
+            error_model=ErrorModel.error_free(),
+            edge_frame_scales={0: 1, 1: 4},
+        )
+        result = system.run()
+        assert result.outputs["snk"] == list(range(128))
+
+    def test_mixed_scales_realign_under_errors(self):
+        program = self.make_program(256)
+        model = ErrorModel(
+            mtbe=2_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        system = MulticoreSystem.build(
+            program,
+            ProtectionLevel.COMMGUARD,
+            error_model=model,
+            seed=3,
+            edge_frame_scales={0: 2, 1: 8},
+        )
+        result = system.run()
+        assert not result.hung
+        assert len(result.outputs["snk"]) == 256
+        stats = result.commguard_stats()
+        assert stats.pads + stats.discarded_items > 0

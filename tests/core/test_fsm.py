@@ -1,0 +1,71 @@
+"""Exhaustive check of the Alignment Manager FSM against Table 1."""
+
+import pytest
+
+from repro.core.fsm import (
+    AlignmentEvent as E,
+    AlignmentState as S,
+    DISCARDING_STATES,
+    is_discarding,
+    is_padding,
+    transition,
+)
+
+#: Every transition Table 1 lists, verbatim (plus the documented completion
+#: of Disc's exit, DESIGN.md §3).
+TABLE_1 = [
+    (S.RCV_CMP, E.NEW_FRAME_COMPUTATION, S.EXP_HDR),
+    (S.RCV_CMP, E.RECEIVED_FUTURE_HEADER, S.PDG),
+    (S.RCV_CMP, E.RECEIVED_PAST_HEADER, S.DISC),
+    (S.EXP_HDR, E.RECEIVED_CORRECT_HEADER, S.RCV_CMP),
+    (S.EXP_HDR, E.RECEIVED_ITEM, S.DISC_FR),
+    (S.EXP_HDR, E.RECEIVED_PAST_HEADER, S.DISC_FR),
+    (S.EXP_HDR, E.RECEIVED_FUTURE_HEADER, S.PDG),
+    (S.DISC_FR, E.RECEIVED_CORRECT_HEADER, S.RCV_CMP),
+    (S.DISC_FR, E.RECEIVED_FUTURE_HEADER, S.PDG),
+    (S.DISC, E.RECEIVED_CORRECT_HEADER, S.RCV_CMP),
+    (S.DISC, E.RECEIVED_FUTURE_HEADER, S.PDG),
+    (S.PDG, E.FC_MATCHED_HEADER, S.RCV_CMP),
+]
+
+
+@pytest.mark.parametrize("state,event,expected", TABLE_1)
+def test_table1_transition(state, event, expected):
+    assert transition(state, event) is expected
+
+
+@pytest.mark.parametrize("state", list(S))
+@pytest.mark.parametrize("event", list(E))
+def test_unlisted_pairs_self_loop(state, event):
+    listed = {(s, e): n for s, e, n in TABLE_1}
+    if (state, event) not in listed:
+        assert transition(state, event) is state
+
+
+def test_exactly_five_states():
+    assert len(list(S)) == 5
+
+
+def test_discarding_states():
+    assert DISCARDING_STATES == {S.DISC, S.DISC_FR}
+    assert is_discarding(S.DISC) and is_discarding(S.DISC_FR)
+    assert not is_discarding(S.RCV_CMP)
+
+
+def test_padding_state():
+    assert is_padding(S.PDG)
+    assert not any(is_padding(s) for s in S if s is not S.PDG)
+
+
+def test_every_erroneous_state_can_reach_rcvcmp():
+    """Misalignment handling always terminates: Pdg via a matched frame
+    computation, Disc/DiscFr via the correct header."""
+    assert transition(S.PDG, E.FC_MATCHED_HEADER) is S.RCV_CMP
+    assert transition(S.DISC, E.RECEIVED_CORRECT_HEADER) is S.RCV_CMP
+    assert transition(S.DISC_FR, E.RECEIVED_CORRECT_HEADER) is S.RCV_CMP
+
+
+def test_future_header_always_pads():
+    """From any non-Pdg state, a future header means data was lost: pad."""
+    for state in (S.RCV_CMP, S.EXP_HDR, S.DISC, S.DISC_FR):
+        assert transition(state, E.RECEIVED_FUTURE_HEADER) is S.PDG

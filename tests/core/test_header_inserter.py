@@ -1,0 +1,103 @@
+"""Tests for the Header Inserter (Section 4.1)."""
+
+from repro.core.header import (
+    END_OF_COMPUTATION,
+    header_frame_id,
+    is_header_unit,
+)
+from repro.core.header_inserter import HeaderInserter
+from repro.core.queue_manager import GuardedQueue, QueueGeometry, QueueManager
+from repro.core.stats import CommGuardStats
+
+
+def make_hi(n_queues=2, capacity=16):
+    stats = CommGuardStats()
+    qm = QueueManager(stats)
+    queues = []
+    for qid in range(n_queues):
+        queue = GuardedQueue(qid, QueueGeometry(workset_units=8, capacity_units=capacity))
+        qm.attach_outgoing(queue)
+        queues.append(queue)
+    return HeaderInserter(qm, stats), queues, stats
+
+
+def drain_all(queue):
+    stats = CommGuardStats()
+    units = []
+    while True:
+        unit = queue.pop_unit(stats)
+        if unit is None:
+            return units
+        units.append(unit)
+
+
+class TestHeaderInsertion:
+    def test_header_inserted_into_every_outgoing_queue(self):
+        hi, queues, stats = make_hi(n_queues=3)
+        hi.on_new_frame_computation(active_fc=5)
+        assert hi.advance()
+        for queue in queues:
+            units = drain_all(queue)
+            assert len(units) == 1
+            assert is_header_unit(units[0])
+            assert header_frame_id(units[0]) == 5
+
+    def test_insertion_publishes_frame_boundary(self):
+        """The flush after the header makes previous pushes visible."""
+        hi, (queue,), stats = make_hi(n_queues=1)
+        queue.push_unit(7, stats)  # unpublished item (workset not full)
+        assert queue.visible_units() == 0
+        hi.on_new_frame_computation(active_fc=1)
+        assert hi.advance()
+        assert queue.visible_units() == 2  # item + header
+
+    def test_prepare_header_accounting(self):
+        hi, queues, stats = make_hi(n_queues=2)
+        hi.on_new_frame_computation(active_fc=0)
+        hi.advance()
+        assert stats.prepare_header == 2
+        assert stats.header_stores == 2
+
+    def test_idle_after_drain(self):
+        hi, _, _ = make_hi()
+        assert hi.idle
+        hi.on_new_frame_computation(0)
+        assert not hi.idle
+        hi.advance()
+        assert hi.idle
+
+
+class TestBlockingResumability:
+    def test_blocked_insertion_resumes(self):
+        hi, (queue,), stats = make_hi(n_queues=1, capacity=2)
+        other = CommGuardStats()
+        queue.push_unit(1, other)
+        queue.push_unit(2, other)  # queue now at capacity
+        hi.on_new_frame_computation(active_fc=0)
+        assert not hi.advance()  # blocked on the full queue
+        assert not hi.idle
+        queue.flush(other)
+        drained = drain_all(queue)
+        assert len(drained) == 2
+        assert hi.advance()  # retry succeeds
+        assert is_header_unit(drain_all(queue)[0])
+
+    def test_insertions_keep_fifo_order_across_frames(self):
+        hi, (queue,), stats = make_hi(n_queues=1, capacity=64)
+        for fc in range(3):
+            hi.on_new_frame_computation(active_fc=fc)
+            assert hi.advance()
+        ids = [header_frame_id(u) for u in drain_all(queue)]
+        assert ids == [0, 1, 2]
+
+
+class TestEndOfComputation:
+    def test_eoc_header_and_flush(self):
+        hi, (queue,), stats = make_hi(n_queues=1)
+        queue.push_unit(3, stats)  # partial working set
+        hi.on_end_of_computation()
+        assert hi.advance()
+        units = drain_all(queue)
+        assert units[0] == 3
+        assert header_frame_id(units[1]) == END_OF_COMPUTATION
+        assert queue.flushed

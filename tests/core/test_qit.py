@@ -1,0 +1,50 @@
+"""Tests for the Queue Information Table (Fig. 4, Section 5.5)."""
+
+import pytest
+
+from repro.core.qit import QITEntry, QueueInfoTable
+from repro.core.queue_manager import GuardedQueue, QueueGeometry
+
+
+def entry(qid, direction="in"):
+    return QITEntry(
+        qid=qid, direction=direction, queue=GuardedQueue(qid, QueueGeometry(1, 8))
+    )
+
+
+class TestQueueInfoTable:
+    def test_add_and_lookup(self):
+        table = QueueInfoTable()
+        table.add(entry(3))
+        assert 3 in table
+        assert table[3].qid == 3
+        assert len(table) == 1
+
+    def test_duplicate_rejected(self):
+        table = QueueInfoTable()
+        table.add(entry(1))
+        with pytest.raises(ValueError):
+            table.add(entry(1))
+
+    def test_direction_filters(self):
+        table = QueueInfoTable()
+        table.add(entry(0, "in"))
+        table.add(entry(1, "out"))
+        table.add(entry(2, "out"))
+        assert [e.qid for e in table.incoming()] == [0]
+        assert sorted(e.qid for e in table.outgoing()) == [1, 2]
+
+    def test_storage_grows_per_entry(self):
+        table = QueueInfoTable()
+        empty = table.reliable_storage_bits()
+        table.add(entry(0))
+        assert (
+            table.reliable_storage_bits() - empty == QITEntry.STORAGE_BITS_PER_ENTRY
+        )
+
+    def test_paper_storage_estimate(self):
+        """Section 5.5: 4 x 4B + 4 x (3 bits + 4 words) is about 82 bytes."""
+        table = QueueInfoTable()
+        for qid in range(4):
+            table.add(entry(qid))
+        assert abs(table.reliable_storage_bits() / 8 - 82) < 4

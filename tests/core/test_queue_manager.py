@@ -1,0 +1,133 @@
+"""Tests for the QM's guarded queue (working sets, publish, capacity)."""
+
+import pytest
+
+from repro.core.header import header_unit, item_unit
+from repro.core.queue_manager import (
+    ECC_OPS_PER_BOUNDARY_REFRESH,
+    ECC_OPS_PER_WORKSET_HANDOFF,
+    GuardedQueue,
+    QueueGeometry,
+    QueueManager,
+    plan_geometry,
+)
+from repro.core.stats import CommGuardStats
+
+
+def make_queue(workset=4, capacity=64):
+    return GuardedQueue(0, QueueGeometry(workset_units=workset, capacity_units=capacity))
+
+
+class TestGeometryPlanning:
+    def test_capacity_covers_two_frames(self):
+        geometry = plan_geometry(192, 15360, items_per_frame=15360)
+        assert geometry.capacity_units >= 2 * 15360
+
+    def test_minimum_capacity(self):
+        geometry = plan_geometry(1, 1, items_per_frame=1)
+        assert geometry.capacity_units >= 64
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            plan_geometry(0, 1, 1)
+        with pytest.raises(ValueError):
+            plan_geometry(1, 1, 0)
+
+
+class TestFifoBehaviour:
+    def test_fifo_order_across_worksets(self):
+        queue, stats = make_queue(workset=3), CommGuardStats()
+        for i in range(10):
+            assert queue.push_unit(item_unit(i), stats)
+        queue.flush(stats)
+        popped = [queue.pop_unit(stats) for _ in range(10)]
+        assert [p & 0xFFFFFFFF for p in popped] == list(range(10))
+
+    def test_pop_empty_blocks(self):
+        queue, stats = make_queue(), CommGuardStats()
+        assert queue.pop_unit(stats) is None
+
+    def test_unpublished_items_invisible(self):
+        queue, stats = make_queue(workset=8), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        assert queue.visible_units() == 0
+        assert queue.unpublished_units() == 1
+        assert queue.pop_unit(stats) is None
+
+    def test_full_workset_auto_publishes(self):
+        queue, stats = make_queue(workset=2), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        queue.push_unit(item_unit(2), stats)
+        assert queue.visible_units() == 2
+
+    def test_flush_publishes_partial_workset(self):
+        queue, stats = make_queue(workset=8), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        assert queue.flush(stats)
+        assert queue.visible_units() == 1
+        assert queue.flushed
+
+    def test_push_blocks_at_capacity(self):
+        queue, stats = GuardedQueue(0, QueueGeometry(2, 4)), CommGuardStats()
+        for i in range(4):
+            assert queue.push_unit(item_unit(i), stats)
+        assert not queue.push_unit(item_unit(99), stats)
+        # Draining frees capacity again.
+        assert queue.pop_unit(stats) is not None
+        assert queue.push_unit(item_unit(99), stats)
+
+
+class TestStatsAccounting:
+    def test_push_pop_counted(self):
+        queue, stats = make_queue(workset=1), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        queue.pop_unit(stats)
+        assert stats.qm_push_local == 1
+        assert stats.qm_pop_local == 1
+
+    def test_full_handoff_costs_ten_ecc_ops(self):
+        queue, stats = make_queue(workset=2), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        queue.push_unit(item_unit(2), stats)
+        assert stats.qm_get_new_workset == 1
+        assert stats.ecc_ops == ECC_OPS_PER_WORKSET_HANDOFF
+
+    def test_boundary_refresh_costs_two_ecc_ops(self):
+        queue, stats = make_queue(workset=8), CommGuardStats()
+        queue.push_unit(item_unit(1), stats)
+        queue.flush(stats)
+        assert stats.ecc_ops == ECC_OPS_PER_BOUNDARY_REFRESH
+
+    def test_header_traffic_counted_separately(self):
+        queue, stats = make_queue(workset=1), CommGuardStats()
+        queue.push_unit(header_unit(3), stats)
+        queue.push_unit(item_unit(1), stats)
+        assert stats.header_stores == 1
+        queue.pop_unit(stats)
+        queue.pop_unit(stats)
+        assert stats.header_loads == 1
+
+    def test_empty_flush_no_handoff(self):
+        queue, stats = make_queue(), CommGuardStats()
+        queue.flush(stats)
+        assert stats.qm_get_new_workset == 0
+
+
+class TestQueueManagerFacade:
+    def test_routes_by_qid(self):
+        stats = CommGuardStats()
+        qm = QueueManager(stats)
+        q_in = GuardedQueue(1, QueueGeometry(1, 8))
+        q_out = GuardedQueue(2, QueueGeometry(1, 8))
+        qm.attach_incoming(q_in)
+        qm.attach_outgoing(q_out)
+        assert qm.push(2, item_unit(7))
+        other = CommGuardStats()
+        q_in.push_unit(item_unit(9), other)
+        assert qm.pop(1) == item_unit(9)
+        assert qm.flush(2)
+
+    def test_unknown_qid_raises(self):
+        qm = QueueManager(CommGuardStats())
+        with pytest.raises(KeyError):
+            qm.push(42, item_unit(0))

@@ -1,0 +1,63 @@
+"""Tests for suboperation/event accounting (Tables 2-3, Figs. 8/12/14)."""
+
+from repro.core.stats import CommGuardStats, MemoryEvents, ThreadCounters
+
+
+class TestCommGuardStats:
+    def test_total_subops_excludes_regular_item_traffic(self):
+        """Table 3: no CommGuard overhead for regular item transmissions."""
+        stats = CommGuardStats()
+        stats.qm_push_local = 1000
+        stats.qm_pop_local = 1000
+        assert stats.total_subops() == 0
+
+    def test_total_subops_includes_header_traffic(self):
+        stats = CommGuardStats()
+        stats.header_loads = 3
+        stats.header_stores = 2
+        stats.ecc_ops = 5
+        stats.is_header_checks = 7
+        stats.fsm_ops = 1
+        stats.counter_ops = 1
+        stats.prepare_header = 2
+        stats.qm_get_new_workset = 4
+        assert stats.total_subops() == 3 + 2 + 5 + 7 + 1 + 1 + 2 + 4
+
+    def test_fsm_counter_series(self):
+        stats = CommGuardStats()
+        stats.fsm_ops = 3
+        stats.counter_ops = 4
+        assert stats.fsm_counter_ops() == 7
+
+    def test_lost_data_units(self):
+        stats = CommGuardStats()
+        stats.pads = 5
+        stats.discarded_items = 2
+        assert stats.lost_data_units() == 7
+
+    def test_merge_accumulates_every_field(self):
+        a, b = CommGuardStats(), CommGuardStats()
+        a.pads, b.pads = 1, 2
+        a.header_loads, b.header_loads = 3, 4
+        a.timeouts, b.timeouts = 5, 6
+        a.merge(b)
+        assert (a.pads, a.header_loads, a.timeouts) == (3, 7, 11)
+
+
+class TestThreadCounters:
+    def test_merge(self):
+        a, b = ThreadCounters(), ThreadCounters()
+        a.committed_instructions, b.committed_instructions = 10, 20
+        a.items_pushed, b.items_pushed = 1, 2
+        a.memory.loads, b.memory.loads = 5, 6
+        a.commguard.pads, b.commguard.pads = 7, 8
+        a.merge(b)
+        assert a.committed_instructions == 30
+        assert a.items_pushed == 3
+        assert a.memory.loads == 11
+        assert a.commguard.pads == 15
+
+    def test_memory_events_merge(self):
+        a, b = MemoryEvents(loads=1, stores=2), MemoryEvents(loads=3, stores=4)
+        a.merge(b)
+        assert (a.loads, a.stores) == (4, 6)

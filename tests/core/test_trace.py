@@ -1,0 +1,113 @@
+"""Tests for the alignment tracing tooling."""
+
+from repro.core.alignment_manager import AlignmentManager
+from repro.core.header import END_OF_COMPUTATION, header_unit, item_unit
+from repro.core.queue_manager import GuardedQueue, QueueGeometry
+from repro.core.stats import CommGuardStats
+from repro.core.trace import TraceKind, TraceRecorder, attach_tracer
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import MulticoreSystem
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+
+
+def make_am_with_trace():
+    stats = CommGuardStats()
+    queue = GuardedQueue(0, QueueGeometry(1, 1024))
+    am = AlignmentManager(queue, stats)
+    recorder = TraceRecorder()
+    am.observer = recorder.observer_for("consumer", 0)
+    return am, queue, recorder
+
+
+def feed(queue, units):
+    stats = CommGuardStats()
+    for unit in units:
+        queue.push_unit(unit, stats)
+    queue.flush(stats)
+
+
+class TestRecorder:
+    def test_aligned_run_traces_only_transitions(self):
+        am, queue, recorder = make_am_with_trace()
+        feed(queue, [header_unit(0), item_unit(1), item_unit(2)])
+        am.on_new_frame_computation(0)
+        am.pop(0)
+        am.pop(0)
+        assert recorder.realignment_events() == []
+        kinds = {e.kind for e in recorder.events}
+        assert kinds == {TraceKind.TRANSITION}
+
+    def test_lost_data_traces_pad_with_frame(self):
+        am, queue, recorder = make_am_with_trace()
+        feed(queue, [header_unit(0), item_unit(1), header_unit(1), item_unit(2), item_unit(3)])
+        am.on_new_frame_computation(0)
+        am.pop(0)
+        am.pop(0)  # meets header 1: pad
+        pads = [e for e in recorder.events if e.kind is TraceKind.PAD]
+        assert len(pads) == 1
+        assert pads[0].active_fc == 0
+        assert "future header 1" in pads[0].detail
+        assert recorder.frames_realigned() == {0}
+
+    def test_extra_items_trace_discards(self):
+        am, queue, recorder = make_am_with_trace()
+        feed(queue, [header_unit(0), item_unit(1), item_unit(99), header_unit(1), item_unit(2)])
+        am.on_new_frame_computation(0)
+        am.pop(0)
+        am.on_new_frame_computation(1)
+        am.pop(1)
+        discards = [e for e in recorder.events if e.kind is TraceKind.DISCARD_ITEM]
+        assert len(discards) == 1
+
+    def test_eoc_traced(self):
+        am, queue, recorder = make_am_with_trace()
+        feed(queue, [header_unit(END_OF_COMPUTATION)])
+        am.on_new_frame_computation(0)
+        am.pop(0)
+        assert any(e.kind is TraceKind.EOC for e in recorder.events)
+
+    def test_render_and_cap(self):
+        recorder = TraceRecorder(max_events=2)
+        observe = recorder.observer_for("t", 3)
+        for i in range(5):
+            observe(TraceKind.PAD, i, "x")
+        assert len(recorder.events) == 2
+        text = recorder.render(limit=1)
+        assert "t[q3]" in text
+        assert "more events" in text
+
+    def test_render_empty(self):
+        assert "no alignment events" in TraceRecorder().render()
+
+
+class TestSystemTracer:
+    def test_attach_tracer_records_run(self):
+        graph = pipeline(
+            [
+                IntSource("src", list(range(256)), rate=1),
+                Identity("mid"),
+                IntSink("snk"),
+            ]
+        )
+        program = StreamProgram.compile(graph)
+        model = ErrorModel(
+            mtbe=2_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        system = MulticoreSystem.build(
+            program, ProtectionLevel.COMMGUARD, error_model=model, seed=1
+        )
+        recorder = attach_tracer(system)
+        system.run()
+        assert recorder.transitions()  # at least the per-frame rollovers
+        threads = {e.thread for e in recorder.events}
+        assert threads <= {"mid", "snk"}
+        # trace agrees with the stats counters on realignment activity
+        assert bool(recorder.realignment_events()) == bool(
+            sum(
+                t.commguard.pads + t.commguard.discarded_items
+                for t in (system.cores[c].threads[0].counters for c in range(3))
+            )
+        )

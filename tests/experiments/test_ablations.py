@@ -1,0 +1,54 @@
+"""Tests for the ablation harnesses (tiny scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.runner import SimulationRunner
+from repro.machine.protection import ProtectionLevel
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(scale=0.1)
+
+
+class TestErrorClassDecomposition:
+    def test_grid_complete(self, runner):
+        cells = ablations.error_class_decomposition(
+            mtbe=100_000, n_seeds=1, runner=runner
+        )
+        assert len(cells) == 3 * 3
+        classes = {c.error_class for c in cells}
+        assert classes == set(ablations.CLASS_MODELS)
+        for cell in cells:
+            assert cell.mean_quality_db <= 96.0
+
+
+class TestMaskingSensitivity:
+    def test_returns_requested_rates(self, runner):
+        results = ablations.masking_sensitivity(
+            mtbe=100_000, n_seeds=1, masking_rates=(0.0, 0.9), runner=runner
+        )
+        assert set(results) == {0.0, 0.9}
+
+    def test_full_masking_equals_error_free(self, runner):
+        """With p_masked near 1 and rare errors, quality hits the cap."""
+        results = ablations.masking_sensitivity(
+            mtbe=1e9, n_seeds=1, masking_rates=(0.99,), runner=runner
+        )
+        app = runner.app("jpeg")
+        assert results[0.99] >= app.baseline_quality() - 0.1
+
+
+class TestWorksetSizing:
+    def test_overhead_monotone_down(self, runner):
+        results = ablations.workset_size_overhead(
+            workset_sizes=(4, 64, 1024), runner=runner
+        )
+        assert results[1024] <= results[64] <= results[4]
+
+    def test_ratios_positive(self, runner):
+        results = ablations.workset_size_overhead(
+            workset_sizes=(16,), runner=runner
+        )
+        assert results[16] > 0

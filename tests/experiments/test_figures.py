@@ -1,0 +1,156 @@
+"""Smoke + structural tests for every figure/table harness (tiny scales).
+
+Full-scale paper-vs-measured numbers live in EXPERIMENTS.md; here we check
+each harness runs, returns the right structure, and obeys the invariants
+that must hold at any scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig03_motivation,
+    fig07_example,
+    fig08_data_loss,
+    fig09_jpeg_ladder,
+    fig10_quality,
+    fig11_quality_others,
+    fig12_memory_overhead,
+    fig13_runtime_overhead,
+    fig14_subops,
+    tables,
+)
+from repro.experiments.runner import SimulationRunner
+from repro.machine.protection import ProtectionLevel
+
+SCALE = 0.05
+TINY_LADDER = (64_000, 1_024_000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(scale=SCALE)
+
+
+class TestFig03:
+    def test_rows_cover_all_protections(self, runner):
+        rows = fig03_motivation.run(mtbe=200_000, n_seeds=1, runner=runner)
+        assert [r.protection for r in rows] == list(fig03_motivation.PROTECTIONS)
+        for row in rows:
+            assert row.min_psnr <= row.mean_psnr <= row.max_psnr
+
+    def test_dump_writes_images(self, runner, tmp_path):
+        fig03_motivation.run(
+            mtbe=200_000, n_seeds=1, dump_dir=str(tmp_path), runner=runner
+        )
+        assert len(list(tmp_path.glob("fig3_*.ppm"))) == 4
+
+
+class TestFig07:
+    def test_result_structure(self, runner):
+        result = fig07_example.run(mtbe=64_000, runner=runner)
+        assert result.pad_events >= 0
+        assert result.errors_injected >= 0
+        assert result.psnr_db > 0
+
+
+class TestFig08:
+    def test_ratios_bounded(self, runner):
+        results = fig08_data_loss.run(
+            n_seeds=1, apps=("fft", "jpeg"), ladder=TINY_LADDER, runner=runner
+        )
+        assert set(results) == {"fft", "jpeg"}
+        for series in results.values():
+            for ratio in series.values():
+                assert 0.0 <= ratio < 0.05  # paper: loss stays small
+
+
+class TestFig09:
+    def test_ladder_keys(self, runner):
+        results = fig09_jpeg_ladder.run(
+            n_seeds=1, ladder=(64_000, 512_000), runner=runner
+        )
+        assert set(results) == {64_000, 512_000}
+        baseline = runner.app("jpeg").baseline_quality()
+        assert all(v <= baseline for v in results.values())
+
+
+class TestFig10Fig11:
+    def test_quality_points_structure(self, runner):
+        points = fig10_quality.run_app(
+            "mp3",
+            n_seeds=1,
+            frame_scales=(1, 2),
+            ladder=TINY_LADDER,
+            runner=runner,
+        )
+        assert len(points) == 4
+        scales = {p.frame_scale for p in points}
+        assert scales == {1, 2}
+        for p in points:
+            assert p.stdev_db >= 0.0
+
+    def test_fig11_covers_four_apps(self, runner):
+        results = fig11_quality_others.run(
+            n_seeds=1, ladder=(64_000,), fir_frame_scales=(1,), runner=runner
+        )
+        assert set(results) == set(fig11_quality_others.APPS)
+
+
+class TestOverheadFigures:
+    def test_fig12_ratios_small_and_complete(self, runner):
+        results = fig12_memory_overhead.run(apps=("fft", "mp3"), runner=runner)
+        assert set(results) == {"fft", "mp3", "GMean"}
+        for loads, stores in results.values():
+            assert 0.0 <= loads < 0.1
+            assert 0.0 <= stores < 0.1
+
+    def test_fig13_overhead_positive_and_shrinks_with_frames(self, runner):
+        results = fig13_runtime_overhead.run(
+            apps=("audiobeamformer",), frame_scales=(1, 8), runner=runner
+        )
+        series = results["audiobeamformer"]
+        assert series[1] > 0
+        assert series[8] < series[1]  # larger frames -> lower overhead
+
+    def test_fig14_header_bit_dominates_ecc_for_rate_heavy_apps(self, runner):
+        results = fig14_subops.run(apps=("jpeg",), runner=runner)
+        ratios = results["jpeg"]
+        assert ratios["header_bit"] > ratios["ecc"]
+        assert ratios["total"] >= ratios["header_bit"]
+        assert ratios["total"] < 0.25
+
+    def test_mains_render(self, runner):
+        # main() functions build their own runners; just exercise formatting
+        # helpers through the table/report paths instead (cheap).
+        from repro.experiments.report import format_table
+
+        assert "GMean" in format_table(["app"], [["GMean"]])
+
+
+class TestTables:
+    def test_table1_lists_all_five_states(self):
+        text = tables.table1_text()
+        for state in ("RcvCmp", "ExpHdr", "DiscFr", "Disc", "Pdg"):
+            assert state in text
+
+    def test_probe_event_costs(self):
+        costs = tables.probe_event_costs()
+        by_event = {c.event: c.deltas for c in costs}
+        # Table 2: a regular push is just a QM-local push, no header work.
+        assert by_event["push (regular item)"] == {"qm_push_local": 1}
+        # A frame boundary prepares a header and computes its ECC.
+        producer = by_event["new frame computation (producer)"]
+        assert producer["prepare_header"] == 1
+        assert producer["header_stores"] == 1
+        # Crossing the frame header costs an ECC check + header-bit checks.
+        pop = by_event["pop (header + item)"]
+        assert pop["header_loads"] == 1
+        assert pop["ecc_ops"] >= 1
+        assert pop["is_header_checks"] == 2
+
+    def test_storage_text_mentions_82(self):
+        assert "82" in tables.storage_text()
+
+    def test_full_main(self):
+        text = tables.main()
+        assert "Table 1" in text and "Section 5.5" in text

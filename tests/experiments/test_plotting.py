@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.experiments.plotting import ascii_chart, loss_chart, quality_chart
+
+
+class TestAsciiChart:
+    def test_single_series_renders_markers(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, 2.0), (3, 3.0)]})
+        assert chart.count("o") >= 3
+        assert "legend: o a" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"a": [(1, 1.0)], "b": [(2, 2.0)]})
+        assert "o a" in chart and "x b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"a": [(1, 0.0), (10, 5.0)]}, x_label="MTBE", y_label="dB"
+        )
+        assert chart.startswith("dB")
+        assert "MTBE" in chart
+
+    def test_log_x_axis(self):
+        chart = ascii_chart(
+            {"a": [(100, 1.0), (100_000, 2.0)]}, log_x=True
+        )
+        assert "100" in chart and "100,000" in chart
+
+    def test_nonfinite_values_skipped(self):
+        chart = ascii_chart({"a": [(1, math.inf), (2, 1.0)]})
+        assert "legend" in chart
+
+    def test_all_nonfinite_handled(self):
+        assert "no finite data" in ascii_chart({"a": [(1, math.nan)]})
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "legend" in chart
+
+    def test_bounds_printed(self):
+        chart = ascii_chart({"a": [(0, -3.5), (1, 7.5)]})
+        assert "7.5" in chart and "-3.5" in chart
+
+
+class TestFigureCharts:
+    def test_quality_chart_caps_values(self):
+        chart = quality_chart({"app": {1000: 120.0, 2000: 10.0}}, cap=50.0)
+        assert "50.0" in chart  # capped maximum
+
+    def test_loss_chart_log_scale(self):
+        chart = loss_chart({"app": {1000: 1e-2, 2000: 1e-6}})
+        assert "-2.0" in chart and "-6.0" in chart

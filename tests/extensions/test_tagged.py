@@ -1,0 +1,132 @@
+"""Tests for the tag-based programming-model bridge (Section 8)."""
+
+import pytest
+
+from repro.extensions.tagged import (
+    StepSpec,
+    build_tagged_program,
+    grouped_reduce_step,
+    map_step,
+)
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+
+
+def square_mapper(tag, value):
+    return value * value
+
+
+def make_mapreduce_program(n_keys=32, group=4):
+    data = list(range(n_keys * group))
+    steps = [
+        map_step("mapper", group, square_mapper),
+        grouped_reduce_step("reducer", group, lambda tag, vs: sum(vs)),
+    ]
+    return build_tagged_program(data, steps), data, group
+
+
+class TestConstruction:
+    def test_program_shape(self):
+        program, data, group = make_mapreduce_program()
+        assert program.n_frames == len(data) // group
+        assert len(program.graph.nodes) == 4
+
+    def test_rate_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="consumes"):
+            build_tagged_program(
+                [1, 2],
+                [
+                    StepSpec("a", 2, 3, lambda t, v: [0, 0, 0]),
+                    StepSpec("b", 2, 1, lambda t, v: [0]),
+                ],
+            )
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            build_tagged_program([1, 2, 3], [StepSpec("a", 2, 2, lambda t, v: v)])
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            build_tagged_program([1], [])
+
+    def test_bad_group_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StepSpec("x", 0, 1, lambda t, v: v)
+
+    def test_wrong_output_count_raises_at_runtime(self):
+        program = build_tagged_program(
+            [1, 2], [StepSpec("bad", 1, 2, lambda t, v: [0])]
+        )
+        from repro.machine.system import MulticoreSystem
+
+        system = MulticoreSystem.build(program, ProtectionLevel.ERROR_FREE)
+        with pytest.raises(ValueError, match="produced"):
+            system.run()
+
+
+class TestSemantics:
+    def test_error_free_mapreduce_result(self):
+        program, data, group = make_mapreduce_program()
+        result = run_program(program, ProtectionLevel.ERROR_FREE)
+        expected = [
+            sum(v * v for v in data[k * group : (k + 1) * group])
+            for k in range(len(data) // group)
+        ]
+        assert result.outputs["result"] == expected
+
+    def test_step_sees_its_tag(self):
+        seen = []
+
+        def spy(tag, values):
+            seen.append(tag)
+            return values
+
+        program = build_tagged_program(
+            list(range(6)), [StepSpec("spy", 2, 2, spy)]
+        )
+        run_program(program, ProtectionLevel.ERROR_FREE)
+        assert seen == [0, 1, 2]
+
+    def test_guarded_error_free_identical(self):
+        program, *_ = make_mapreduce_program()
+        plain = run_program(program, ProtectionLevel.ERROR_FREE)
+        guarded = run_program(program, ProtectionLevel.COMMGUARD, mtbe=None)
+        assert plain.outputs == guarded.outputs
+
+
+class TestRealignmentByTag:
+    def test_key_groups_realign_under_control_errors(self):
+        """Section 8's claim: a lost/duplicated tag group corrupts that key's
+        result only; later keys still reduce correctly under CommGuard."""
+        program, data, group = make_mapreduce_program(n_keys=64)
+        model = ErrorModel(
+            mtbe=6_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        expected = [
+            sum(v * v for v in data[k * group : (k + 1) * group])
+            for k in range(64)
+        ]
+        guarded = run_program(
+            program, ProtectionLevel.COMMGUARD, error_model=model, seed=2
+        )
+        unguarded = run_program(
+            program, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model=model, seed=2
+        )
+        assert len(guarded.outputs["result"]) == 64
+        correct_guarded = sum(
+            1 for got, want in zip(guarded.outputs["result"], expected) if got == want
+        )
+        correct_unguarded = sum(
+            1
+            for got, want in zip(unguarded.outputs["result"], expected)
+            if got == want
+        )
+        assert correct_guarded > correct_unguarded
+        assert correct_guarded >= 32  # most keys survive
+
+    def test_progress_under_heavy_errors(self):
+        program, *_ = make_mapreduce_program(n_keys=16)
+        result = run_program(program, ProtectionLevel.COMMGUARD, mtbe=2_000, seed=1)
+        assert not result.hung
+        assert len(result.outputs["result"]) == 16

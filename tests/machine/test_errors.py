@@ -1,0 +1,89 @@
+"""Tests for the error model and per-core injectors (Section 6)."""
+
+import pytest
+
+from repro.machine.errors import ErrorInjector, ErrorKind, ErrorModel
+
+
+class TestErrorModel:
+    def test_error_free_factory(self):
+        model = ErrorModel.error_free()
+        assert not model.enabled
+
+    def test_rejects_nonpositive_mtbe(self):
+        with pytest.raises(ValueError):
+            ErrorModel(mtbe=0)
+
+    def test_rejects_bad_masking(self):
+        with pytest.raises(ValueError):
+            ErrorModel(mtbe=1000, p_masked=1.0)
+
+    def test_rejects_unnormalized_mix(self):
+        with pytest.raises(ValueError):
+            ErrorModel(mtbe=1000, p_data=0.5, p_control=0.5, p_address=0.5)
+
+
+class TestInjector:
+    def test_error_free_never_fires(self):
+        injector = ErrorInjector(ErrorModel.error_free(), seed=0, core_id=0)
+        assert injector.advance(10_000_000) == []
+        assert injector.errors_injected == 0
+
+    def test_mean_rate_matches_mtbe(self):
+        injector = ErrorInjector(ErrorModel(mtbe=1000, p_masked=0.0), seed=1, core_id=0)
+        injector.advance(1_000_000)
+        assert 850 <= injector.errors_injected <= 1150
+
+    def test_masking_fraction(self):
+        model = ErrorModel(mtbe=500, p_masked=0.8)
+        injector = ErrorInjector(model, seed=2, core_id=0)
+        events = injector.advance(1_000_000)
+        masked_fraction = injector.errors_masked / injector.errors_injected
+        assert 0.75 <= masked_fraction <= 0.85
+        assert len(events) == injector.errors_injected - injector.errors_masked
+
+    def test_kind_mix(self):
+        model = ErrorModel(mtbe=200, p_masked=0.0)
+        injector = ErrorInjector(model, seed=3, core_id=0)
+        events = injector.advance(2_000_000)
+        counts = {kind: 0 for kind in ErrorKind}
+        for event in events:
+            counts[event.kind] += 1
+        total = len(events)
+        assert abs(counts[ErrorKind.DATA] / total - 0.60) < 0.05
+        assert abs(counts[ErrorKind.CONTROL] / total - 0.25) < 0.05
+        assert abs(counts[ErrorKind.ADDRESS] / total - 0.15) < 0.05
+
+    def test_deterministic_per_seed(self):
+        model = ErrorModel(mtbe=777)
+        a = ErrorInjector(model, seed=9, core_id=4)
+        b = ErrorInjector(model, seed=9, core_id=4)
+        ea = [(e.kind, e.at_instruction) for e in a.advance(100_000)]
+        eb = [(e.kind, e.at_instruction) for e in b.advance(100_000)]
+        assert ea == eb
+
+    def test_independent_per_core(self):
+        """Each core has its own stream (Section 6): different sequences."""
+        model = ErrorModel(mtbe=500)
+        a = ErrorInjector(model, seed=9, core_id=0)
+        b = ErrorInjector(model, seed=9, core_id=1)
+        ea = [e.at_instruction for e in a.advance(200_000)]
+        eb = [e.at_instruction for e in b.advance(200_000)]
+        assert ea != eb
+
+    def test_clock_accumulates(self):
+        injector = ErrorInjector(ErrorModel(mtbe=100), seed=0, core_id=0)
+        injector.advance(30)
+        injector.advance(70)
+        assert injector.clock == 100
+
+    def test_rejects_negative_advance(self):
+        injector = ErrorInjector(ErrorModel(mtbe=100), seed=0, core_id=0)
+        with pytest.raises(ValueError):
+            injector.advance(-1)
+
+    def test_events_tagged_with_clock(self):
+        injector = ErrorInjector(ErrorModel(mtbe=50, p_masked=0.0), seed=5, core_id=0)
+        events = injector.advance(500)
+        for event in events:
+            assert event.at_instruction == injector.clock

@@ -1,0 +1,77 @@
+"""Tests for queue-occupancy high-water tracking (Section 5.1 sizing)."""
+
+from repro.core.header import item_unit
+from repro.core.queue_manager import GuardedQueue, QueueGeometry
+from repro.core.stats import CommGuardStats
+from repro.machine.protection import ProtectionLevel
+from repro.machine.queues import ReliableQueue, SoftwareQueue
+from repro.machine.system import run_program
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+
+
+class TestQueuePeaks:
+    def test_guarded_queue_tracks_peak(self):
+        queue, stats = GuardedQueue(0, QueueGeometry(4, 64)), CommGuardStats()
+        for i in range(10):
+            queue.push_unit(item_unit(i), stats)
+        for _ in range(10):
+            queue.pop_unit(stats)
+        assert queue.peak_units == 10
+        queue.push_unit(item_unit(0), stats)
+        assert queue.peak_units == 10  # peak persists
+
+    def test_reliable_queue_tracks_peak(self):
+        queue = ReliableQueue(32)
+        for i in range(7):
+            queue.push(i)
+        queue.pop()
+        assert queue.peak_occupancy == 7
+
+    def test_software_queue_tracks_peak(self):
+        queue = SoftwareQueue(16)
+        for i in range(5):
+            queue.push(i)
+        assert queue.peak_occupancy == 5
+
+    def test_fresh_queue_peak_zero(self):
+        assert ReliableQueue(4).peak_occupancy == 0
+
+
+class TestRunResultPeaks:
+    def make_program(self):
+        graph = pipeline(
+            [
+                IntSource("src", list(range(64)), rate=2),
+                Identity("mid", rate=2),
+                IntSink("snk", rate=2),
+            ]
+        )
+        return StreamProgram.compile(graph)
+
+    def test_peaks_collected_for_every_edge(self):
+        program = self.make_program()
+        for level in (ProtectionLevel.ERROR_FREE, ProtectionLevel.COMMGUARD):
+            result = run_program(program, level, mtbe=None)
+            assert set(result.queue_peaks) == {0, 1}
+            assert all(v > 0 for v in result.queue_peaks.values())
+
+    def test_buffer_requirement_sums_peaks(self):
+        program = self.make_program()
+        result = run_program(program, ProtectionLevel.ERROR_FREE)
+        assert result.buffer_requirement_words() == sum(
+            result.queue_peaks.values()
+        )
+
+    def test_guarded_peak_bounded_by_capacity(self):
+        from repro.machine.errors import ErrorModel
+        from repro.machine.system import MulticoreSystem
+
+        program = self.make_program()
+        system = MulticoreSystem.build(
+            program, ProtectionLevel.COMMGUARD, error_model=ErrorModel.error_free()
+        )
+        result = system.run()
+        for qid, queue in system._queues.items():
+            assert result.queue_peaks[qid] <= queue.geometry.capacity_units

@@ -1,0 +1,64 @@
+"""Tests for the PPU execution-guarantee model."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.ppu import PPUModel
+
+
+class TestClamping:
+    def test_within_bound_unchanged(self):
+        ppu = PPUModel(max_count_perturbation=4)
+        assert ppu.clamp_count_delta(3, rate=10) == 3
+        assert ppu.clamp_count_delta(-2, rate=10) == -2
+
+    def test_clamps_to_bound(self):
+        ppu = PPUModel(max_count_perturbation=4)
+        assert ppu.clamp_count_delta(100, rate=10) == 4
+        assert ppu.clamp_count_delta(-100, rate=10) == -4
+
+    def test_never_unpops_more_than_rate(self):
+        ppu = PPUModel(max_count_perturbation=8)
+        assert ppu.clamp_count_delta(-8, rate=2) == -2
+
+    def test_rate_one_ports_still_perturbable(self):
+        ppu = PPUModel(max_count_perturbation=8)
+        assert ppu.clamp_count_delta(5, rate=1) == 1
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(1, 500),
+        st.integers(1, 16),
+    )
+    def test_clamp_properties(self, delta, rate, bound):
+        ppu = PPUModel(max_count_perturbation=bound)
+        clamped = ppu.clamp_count_delta(delta, rate)
+        assert -rate <= clamped
+        assert abs(clamped) <= min(bound, max(1, rate))
+        if delta:
+            assert clamped * delta >= 0  # sign preserved (or zero)
+
+
+class TestDrawing:
+    def test_draw_is_bounded_and_nonzero_magnitude(self):
+        ppu = PPUModel(max_count_perturbation=3)
+        rng = random.Random(7)
+        for _ in range(200):
+            delta = ppu.draw_count_delta(rng, rate=8)
+            assert -8 <= delta <= 3
+            assert abs(delta) >= 1 or delta == 0
+
+    def test_draw_produces_both_signs(self):
+        ppu = PPUModel()
+        rng = random.Random(11)
+        deltas = {ppu.draw_count_delta(rng, rate=4) for _ in range(100)}
+        assert any(d > 0 for d in deltas)
+        assert any(d < 0 for d in deltas)
+
+    def test_garbage_word_is_32_bits(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            word = PPUModel.garbage_word(rng)
+            assert 0 <= word < (1 << 32)

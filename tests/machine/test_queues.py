@@ -1,0 +1,103 @@
+"""Tests for the raw queue backends (software vs reliable)."""
+
+import random
+
+import pytest
+
+from repro.machine.queues import ReliableQueue, SoftwareQueue
+
+
+@pytest.mark.parametrize("queue_cls", [ReliableQueue, SoftwareQueue])
+class TestCommonBehaviour:
+    def test_fifo_order(self, queue_cls):
+        queue = queue_cls(capacity=16)
+        for i in range(10):
+            assert queue.push(i)
+        assert [queue.pop() for _ in range(10)] == list(range(10))
+
+    def test_empty_pop_blocks(self, queue_cls):
+        assert queue_cls(4).pop() is None
+
+    def test_full_push_blocks(self, queue_cls):
+        queue = queue_cls(capacity=2)
+        assert queue.push(1) and queue.push(2)
+        assert not queue.push(3)
+
+    def test_occupancy_tracks(self, queue_cls):
+        queue = queue_cls(capacity=8)
+        queue.push(1)
+        queue.push(2)
+        assert queue.occupancy() == 2
+        queue.pop()
+        assert queue.occupancy() == 1
+
+    def test_wraparound(self, queue_cls):
+        queue = queue_cls(capacity=4)
+        for round_ in range(5):
+            for i in range(4):
+                assert queue.push(round_ * 4 + i)
+            for i in range(4):
+                assert queue.pop() == round_ * 4 + i
+
+    def test_rejects_zero_capacity(self, queue_cls):
+        with pytest.raises(ValueError):
+            queue_cls(0)
+
+    def test_words_truncated_to_32_bits(self, queue_cls):
+        queue = queue_cls(4)
+        queue.push((1 << 40) | 5)
+        assert queue.pop() == 5
+
+
+class TestReliableQueueProtection:
+    def test_pointer_corruption_is_noop(self):
+        queue = ReliableQueue(8)
+        queue.push(1)
+        queue.corrupt_pointer(random.Random(0))
+        assert queue.occupancy() == 1
+        assert queue.pop() == 1
+
+    def test_lazy_compaction_preserves_content(self):
+        queue = ReliableQueue(10_000)
+        for i in range(9000):
+            queue.push(i)
+        values = [queue.pop() for _ in range(9000)]
+        assert values == list(range(9000))
+
+
+class TestSoftwareQueueCorruption:
+    """QME effects (Section 3): corrupt pointers garble or deadlock."""
+
+    def test_corruption_changes_management_state(self):
+        queue = SoftwareQueue(64)
+        for i in range(10):
+            queue.push(i)
+        before = (queue.head, queue.tail)
+        queue.corrupt_pointer(random.Random(1))
+        assert (queue.head, queue.tail) != before
+
+    def test_corruption_can_fake_fullness_or_emptiness(self):
+        """A high-bit flip makes occupancy astronomical: pushes block (the
+        deadlock scenario) while pops return garbage slots."""
+        queue = SoftwareQueue(16)
+        queue.push(7)
+        queue.head = (queue.head ^ (1 << 31)) & 0xFFFFFFFF
+        assert queue.occupancy() > queue.capacity
+        assert not queue.push(8)
+        # Pops still "succeed" but replay garbage (stale slots).
+        assert queue.pop() is not None
+
+    def test_low_bit_corruption_shifts_stream(self):
+        queue = SoftwareQueue(16)
+        for i in range(8):
+            queue.push(100 + i)
+        queue.head ^= 0b10  # skid the head pointer
+        popped = [queue.pop() for _ in range(6)]
+        assert popped != [100 + i for i in range(6)]
+
+    def test_uncorrupted_behaviour_is_clean(self):
+        queue = SoftwareQueue(8)
+        for i in range(8):
+            queue.push(i)
+        assert not queue.push(99)
+        assert [queue.pop() for _ in range(8)] == list(range(8))

@@ -1,0 +1,73 @@
+"""Tests for run-result aggregation and derived metrics."""
+
+from repro.core.stats import ThreadCounters
+from repro.machine.protection import ProtectionLevel
+from repro.machine.runstats import RunResult
+
+
+def make_result():
+    result = RunResult()
+    a = ThreadCounters()
+    a.committed_instructions = 1000
+    a.items_popped = 100
+    a.memory.loads = 300
+    a.memory.stores = 200
+    a.commguard.pads = 4
+    a.commguard.discarded_items = 6
+    a.commguard.header_loads = 3
+    a.commguard.header_stores = 2
+    a.stall_cycles = 50
+    b = ThreadCounters()
+    b.committed_instructions = 500
+    b.items_popped = 100
+    result.thread_counters = {"a": a, "b": b}
+    return result
+
+
+class TestAggregation:
+    def test_aggregate_counters(self):
+        total = make_result().aggregate_counters()
+        assert total.committed_instructions == 1500
+        assert total.items_popped == 200
+
+    def test_data_loss_ratio(self):
+        assert make_result().data_loss_ratio() == (4 + 6) / 200
+
+    def test_data_loss_zero_when_no_pops(self):
+        assert RunResult().data_loss_ratio() == 0.0
+
+    def test_header_memory_ratios(self):
+        loads, stores = make_result().header_memory_ratios()
+        assert loads == 3 / 303
+        assert stores == 2 / 202
+
+    def test_execution_time(self):
+        result = make_result()
+        expected = 1500 + 50 + (3 + 2) * result.header_transfer_cycles
+        assert result.execution_time() == expected
+
+    def test_subop_ratios_keys(self):
+        ratios = make_result().subop_ratios()
+        assert set(ratios) == {"fsm_counter", "ecc", "header_bit", "total"}
+
+    def test_pad_discard_events(self):
+        result = make_result()
+        result.thread_counters["a"].commguard.pad_events = 2
+        result.thread_counters["a"].commguard.discard_events = 1
+        assert result.pad_discard_events() == (2, 1)
+
+    def test_completed_flag(self):
+        result = make_result()
+        assert result.completed()
+        result.hung = True
+        assert not result.completed()
+
+
+class TestProtectionEnum:
+    def test_flags(self):
+        assert ProtectionLevel.COMMGUARD.uses_commguard
+        assert not ProtectionLevel.PPU_ONLY.uses_commguard
+        assert ProtectionLevel.PPU_ONLY.queue_pointers_corruptible
+        assert not ProtectionLevel.PPU_RELIABLE_QUEUE.queue_pointers_corruptible
+        assert not ProtectionLevel.ERROR_FREE.injects_errors
+        assert ProtectionLevel.COMMGUARD.injects_errors

@@ -1,0 +1,177 @@
+"""Tests for the thread runtime and architectural error application."""
+
+import pytest
+
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.system import run_program
+from repro.machine.thread import GuardedCommPath, NodeThread, RawCommPath
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Filter, Identity, IntSink, IntSource
+from repro.streamit.program import StreamProgram
+from repro.words import float_to_word, word_to_float
+
+
+def make_program(n=512):
+    graph = pipeline(
+        [
+            IntSource("src", list(range(n)), rate=1),
+            Identity("mid", rate=1),
+            IntSink("snk", rate=1),
+        ]
+    )
+    return StreamProgram.compile(graph)
+
+
+def count_mismatches(result, n):
+    out = result.outputs["snk"]
+    return sum(1 for got, want in zip(out, range(n)) if got != want)
+
+
+class TestDataErrors:
+    def test_data_only_model_corrupts_values_not_counts(self):
+        program = make_program(512)
+        model = ErrorModel(
+            mtbe=2_000, p_masked=0.0, p_data=1.0, p_control=0.0, p_address=0.0
+        )
+        result = run_program(
+            program, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model=model, seed=1
+        )
+        out = result.outputs["snk"]
+        assert len(out) == 512
+        mismatches = count_mismatches(result, 512)
+        assert 0 < mismatches < 100  # some corrupted values, counts intact
+        # Pure data errors never shift the stream: each wrong value is a
+        # bit flip of the expected one.
+        for got, want in zip(out, range(512)):
+            if got != want:
+                assert bin(got ^ want).count("1") == 1
+
+
+class TestControlErrors:
+    def test_control_only_model_misaligns_unprotected_stream(self):
+        program = make_program(512)
+        model = ErrorModel(
+            mtbe=3_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        result = run_program(
+            program, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model=model, seed=0
+        )
+        out = result.outputs["snk"]
+        assert len(out) == 512
+        # A count perturbation permanently shifts everything after it: the
+        # tail no longer matches (alignment error, Section 3).
+        tail_wrong = sum(1 for got, want in zip(out[-64:], range(448, 512)) if got != want)
+        assert tail_wrong > 32
+
+    def test_commguard_realigns_control_errors(self):
+        program = make_program(512)
+        model = ErrorModel(
+            mtbe=3_000, p_masked=0.0, p_data=0.0, p_control=1.0, p_address=0.0
+        )
+        result = run_program(
+            program, ProtectionLevel.COMMGUARD, error_model=model, seed=0
+        )
+        out = result.outputs["snk"]
+        assert len(out) == 512
+        stats = result.commguard_stats()
+        assert stats.pads + stats.discarded_items > 0
+        # Errors are ephemeral: the last frame decodes cleanly for at least
+        # one of several seeds (statistically, most frames are clean).
+        mismatches = count_mismatches(result, 512)
+        assert mismatches < 256
+
+
+class TestStateErrors:
+    def test_filter_state_corruption_applied(self):
+        class Accumulator(Filter):
+            def __init__(self):
+                super().__init__("acc", input_rates=(1,), output_rates=(1,))
+                self._total = 0.0
+
+            def reset(self):
+                self._total = 0.0
+
+            def work(self, inputs):
+                self._total += word_to_float(inputs[0][0])
+                return [[float_to_word(self._total)]]
+
+            def state_words(self):
+                return [float_to_word(self._total)]
+
+            def write_state_word(self, index, word):
+                self._total = word_to_float(word)
+
+        graph = pipeline(
+            [
+                IntSource("src", [float_to_word(1.0)] * 256, rate=1),
+                Accumulator(),
+                IntSink("snk", rate=1),
+            ]
+        )
+        program = StreamProgram.compile(graph)
+        model = ErrorModel(
+            mtbe=1_500, p_masked=0.0, p_data=1.0, p_control=0.0, p_address=0.0
+        )
+        result = run_program(
+            program, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model=model, seed=4
+        )
+        final = word_to_float(result.outputs["snk"][-1])
+        assert final != 256.0  # some flip reached a value or the state
+
+
+class TestAddressErrors:
+    def test_address_errors_corrupt_software_queue(self):
+        program = make_program(512)
+        model = ErrorModel(
+            mtbe=4_000, p_masked=0.0, p_data=0.0, p_control=0.0, p_address=1.0
+        )
+        ppu_only = run_program(
+            program, ProtectionLevel.PPU_ONLY, error_model=model, seed=2
+        )
+        assert count_mismatches(ppu_only, 512) > 0
+
+    def test_reliable_queue_confines_address_errors_to_garbage_values(self):
+        program = make_program(512)
+        model = ErrorModel(
+            mtbe=4_000, p_masked=0.0, p_data=0.0, p_control=0.0, p_address=1.0
+        )
+        result = run_program(
+            program, ProtectionLevel.PPU_RELIABLE_QUEUE, error_model=model, seed=2
+        )
+        out = result.outputs["snk"]
+        assert len(out) == 512
+        # Garbage loads corrupt isolated values; the stream never shifts.
+        suffix_ok = sum(1 for got, want in zip(out, range(512)) if got == want)
+        assert suffix_ok > 400
+
+
+class TestThreadMechanics:
+    def test_progress_token_monotone(self):
+        program = make_program(32)
+        from repro.machine.system import MulticoreSystem
+
+        system = MulticoreSystem.build(program, ProtectionLevel.ERROR_FREE)
+        thread = system.cores[0].threads[0]
+        tokens = [thread.progress_token()]
+        while thread.step() != "done":
+            tokens.append(thread.progress_token())
+        assert tokens == sorted(tokens)
+
+    def test_wrong_work_shape_raises(self):
+        class Broken(Filter):
+            def __init__(self):
+                super().__init__("broken", input_rates=(1,), output_rates=(2,))
+
+            def work(self, inputs):
+                return [[1]]  # wrong: must be 2 items
+
+        graph = pipeline(
+            [IntSource("src", [1], rate=1), Broken(), IntSink("snk", rate=2)]
+        )
+        program = StreamProgram.compile(graph)
+        from repro.machine.system import MulticoreSystem
+
+        system = MulticoreSystem.build(program, ProtectionLevel.ERROR_FREE)
+        with pytest.raises(RuntimeError, match="wrong batch shape"):
+            system.run()

@@ -1,0 +1,113 @@
+"""Tests for SNR/PSNR metrics and media generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quality.audio import multitone_signal, speech_like_signal
+from repro.quality.images import synthetic_image, write_pgm, write_ppm
+from repro.quality.metrics import align_lengths, psnr_db, snr_db
+
+
+class TestSnr:
+    def test_identical_signals_infinite(self):
+        signal = np.sin(np.arange(100))
+        assert snr_db(signal, signal) == math.inf
+
+    def test_known_value(self):
+        ref = np.ones(1000)
+        noisy = ref + 0.1  # noise power 0.01 -> SNR 20 dB
+        assert snr_db(ref, noisy) == pytest.approx(20.0, abs=1e-6)
+
+    def test_zero_reference(self):
+        assert snr_db(np.zeros(10), np.ones(10)) == -math.inf
+
+    def test_nan_and_inf_handled(self):
+        ref = np.ones(10)
+        out = ref.copy()
+        out[0] = np.nan
+        out[1] = np.inf
+        value = snr_db(ref, out)
+        assert np.isfinite(value)
+
+    def test_short_output_scored_against_fill(self):
+        ref = np.ones(10)
+        assert snr_db(ref, np.ones(5)) == pytest.approx(
+            10 * math.log10(10 / 5), abs=1e-9
+        )
+
+    @given(st.lists(st.floats(-100, 100), min_size=8, max_size=64))
+    def test_snr_of_self_is_inf(self, values):
+        arr = np.asarray(values)
+        if np.any(arr != 0):
+            assert snr_db(arr, arr) == math.inf
+
+
+class TestPsnr:
+    def test_identical_images_infinite(self):
+        image = np.full(100, 128.0)
+        assert psnr_db(image, image) == math.inf
+
+    def test_known_value(self):
+        ref = np.zeros(100)
+        out = np.full(100, 255.0)  # MSE = 255^2 -> PSNR 0 dB
+        assert psnr_db(ref, out) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_pixel_error(self):
+        ref = np.zeros(255 * 255)
+        out = ref.copy()
+        out[0] = 255.0
+        # MSE = 255^2/(255*255) = 1 -> PSNR = 20 log10(255)
+        assert psnr_db(ref, out) == pytest.approx(20 * math.log10(255), abs=1e-6)
+
+
+class TestAlignLengths:
+    def test_pads_short(self):
+        ref, out = align_lengths([1, 2, 3], [5], fill=9)
+        assert list(out) == [5, 9, 9]
+
+    def test_truncates_long(self):
+        ref, out = align_lengths([1, 2], [5, 6, 7])
+        assert list(out) == [5, 6]
+
+
+class TestGenerators:
+    def test_image_shape_and_determinism(self):
+        a = synthetic_image(64, 48, seed=1)
+        b = synthetic_image(64, 48, seed=1)
+        assert a.shape == (48, 64, 3)
+        assert a.dtype == np.uint8
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, synthetic_image(64, 48, seed=2))
+
+    def test_image_rejects_non_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            synthetic_image(63, 48)
+
+    def test_audio_range_and_determinism(self):
+        a = multitone_signal(1000)
+        assert np.max(np.abs(a)) <= 0.81
+        assert np.array_equal(a, multitone_signal(1000))
+
+    def test_speech_signal(self):
+        s = speech_like_signal(1000)
+        assert s.shape == (1000,)
+        assert np.max(np.abs(s)) <= 0.81
+
+    def test_ppm_pgm_roundtrip_header(self, tmp_path):
+        image = synthetic_image(16, 8)
+        ppm = tmp_path / "x.ppm"
+        write_ppm(str(ppm), image)
+        data = ppm.read_bytes()
+        assert data.startswith(b"P6 16 8 255\n")
+        assert len(data) == len(b"P6 16 8 255\n") + 16 * 8 * 3
+        pgm = tmp_path / "x.pgm"
+        write_pgm(str(pgm), image[..., 0])
+        assert pgm.read_bytes().startswith(b"P5 16 8 255\n")
+
+    def test_ppm_rejects_grayscale(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "bad.ppm"), np.zeros((8, 8), dtype=np.uint8))

@@ -1,0 +1,90 @@
+"""Tests for pipeline and split-join builders."""
+
+import pytest
+
+from repro.streamit.builders import pipeline, split_join
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.graph import StreamGraph
+from repro.streamit.program import StreamProgram
+
+
+class TestPipeline:
+    def test_chains_in_order(self):
+        graph = pipeline([IntSource("s", [1], 1), Identity("a"), IntSink("k")])
+        assert len(graph.edges) == 2
+        graph.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline([])
+
+    def test_extends_existing_graph(self):
+        graph = StreamGraph()
+        head = graph.add_node(IntSource("s", [1], 1))
+        pipeline([head, Identity("a"), IntSink("k")], graph=graph)
+        assert len(graph.nodes) == 3
+
+
+class TestSplitJoin:
+    def make(self, split="duplicate", branches=None):
+        graph = StreamGraph()
+        source = graph.add_node(IntSource("s", [1, 2], 1))
+        sink = graph.add_node(IntSink("k", rate=2))
+        branches = branches or [Identity("a"), Identity("b")]
+        splitter, joiner = split_join(
+            graph, source, branches, sink, split=split, name="sj"
+        )
+        return graph, splitter, joiner
+
+    def test_duplicate_wiring_validates(self):
+        graph, splitter, joiner = self.make()
+        graph.validate()
+        assert splitter.n_outputs == 2
+        assert joiner.n_inputs == 2
+
+    def test_roundrobin_wiring_validates(self):
+        graph, *_ = self.make(split="roundrobin")
+        graph.validate()
+
+    def test_chain_branches(self):
+        graph = StreamGraph()
+        source = graph.add_node(IntSource("s", [1], 1))
+        sink = graph.add_node(IntSink("k", rate=2))
+        split_join(
+            graph,
+            source,
+            [[Identity("a1"), Identity("a2")], Identity("b")],
+            sink,
+            name="sj",
+        )
+        graph.validate()
+        assert len(graph.nodes) == 7
+
+    def test_duplicate_requires_equal_branch_rates(self):
+        graph = StreamGraph()
+        source = graph.add_node(IntSource("s", [1], 1))
+        sink = graph.add_node(IntSink("k", rate=3))
+        with pytest.raises(ValueError, match="equal branch input rates"):
+            split_join(
+                graph,
+                source,
+                [Identity("a", rate=1), Identity("b", rate=2)],
+                sink,
+            )
+
+    def test_no_branches_rejected(self):
+        graph = StreamGraph()
+        source = graph.add_node(IntSource("s", [1], 1))
+        sink = graph.add_node(IntSink("k"))
+        with pytest.raises(ValueError):
+            split_join(graph, source, [], sink)
+
+    def test_built_graph_compiles_and_runs(self):
+        from repro.machine.protection import ProtectionLevel
+        from repro.machine.system import run_program
+
+        graph, *_ = self.make()
+        program = StreamProgram.compile(graph)
+        result = run_program(program, ProtectionLevel.ERROR_FREE)
+        # duplicate split of [1, 2] -> joiner interleaves branch copies.
+        assert result.outputs["k"] == [1, 1, 2, 2]

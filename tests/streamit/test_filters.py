@@ -1,0 +1,116 @@
+"""Tests for the filter base classes and built-in filters."""
+
+import pytest
+
+from repro.streamit.filters import (
+    DuplicateSplitter,
+    Filter,
+    FloatSink,
+    FloatSource,
+    Identity,
+    IntSink,
+    IntSource,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+)
+from repro.words import float_to_word
+
+
+class TestFilterBase:
+    def test_rejects_zero_rates(self):
+        with pytest.raises(ValueError):
+            Identity("bad", rate=0)
+
+    def test_port_counts(self):
+        splitter = RoundRobinSplitter("s", [1, 2, 3])
+        assert splitter.n_inputs == 1
+        assert splitter.n_outputs == 3
+
+    def test_default_cost_model(self):
+        f = Identity("id", rate=10)
+        assert f.instruction_cost() == 20 + 7 * 20
+        assert f.memory_loads() == f.instruction_cost() // 3
+        assert f.memory_stores() == (2 * f.instruction_cost()) // 7
+
+    def test_default_state_hooks(self):
+        f = Identity("id")
+        assert f.state_words() == []
+        with pytest.raises(IndexError):
+            f.write_state_word(0, 1)
+
+    def test_repr_mentions_rates(self):
+        assert "in=(2,)" in repr(Identity("x", rate=2))
+
+
+class TestSources:
+    def test_int_source_streams_in_order(self):
+        source = IntSource("s", [1, 2, 3, 4], rate=2)
+        assert source.total_firings == 2
+        assert source.work([]) == [[1, 2]]
+        assert source.work([]) == [[3, 4]]
+
+    def test_source_pads_past_end(self):
+        source = IntSource("s", [1, 2], rate=2)
+        source.work([])
+        assert source.work([]) == [[0, 0]]
+
+    def test_source_reset_rewinds(self):
+        source = IntSource("s", [1, 2], rate=2)
+        source.work([])
+        source.reset()
+        assert source.work([]) == [[1, 2]]
+
+    def test_source_rejects_ragged_data(self):
+        with pytest.raises(ValueError):
+            IntSource("s", [1, 2, 3], rate=2)
+
+    def test_float_source_encodes_float32(self):
+        source = FloatSource("s", [1.5], rate=1)
+        assert source.work([]) == [[float_to_word(1.5)]]
+
+    def test_negative_ints_stored_twos_complement(self):
+        source = IntSource("s", [-1], rate=1)
+        assert source.work([]) == [[0xFFFFFFFF]]
+
+
+class TestSinks:
+    def test_collects_in_order(self):
+        sink = IntSink("k", rate=2)
+        sink.work([[1, 2]])
+        sink.work([[3, 4]])
+        assert sink.collected == [1, 2, 3, 4]
+
+    def test_reset_clears(self):
+        sink = IntSink("k")
+        sink.work([[9]])
+        sink.reset()
+        assert sink.collected == []
+
+    def test_float_sink_decodes(self):
+        sink = FloatSink("k")
+        sink.work([[float_to_word(2.5)]])
+        assert sink.collected_floats() == [2.5]
+
+
+class TestSplittersJoiners:
+    def test_duplicate_splitter_copies(self):
+        split = DuplicateSplitter("d", n_branches=3, rate=2)
+        out = split.work([[7, 8]])
+        assert out == [[7, 8], [7, 8], [7, 8]]
+        assert out[0] is not out[1]  # branches get independent lists
+
+    def test_roundrobin_splitter_weights(self):
+        split = RoundRobinSplitter("r", [2, 1])
+        assert split.work([[1, 2, 3]]) == [[1, 2], [3]]
+        assert split.input_rates == (3,)
+
+    def test_roundrobin_joiner_weights(self):
+        join = RoundRobinJoiner("j", [1, 2])
+        assert join.work([[1], [2, 3]]) == [[1, 2, 3]]
+        assert join.output_rates == (3,)
+
+    def test_split_join_inverse(self):
+        split = RoundRobinSplitter("r", [3, 2])
+        join = RoundRobinJoiner("j", [3, 2])
+        data = [10, 20, 30, 40, 50]
+        assert join.work(split.work([data])) == [data]

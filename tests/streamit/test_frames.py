@@ -1,0 +1,81 @@
+"""Tests for the frame analysis of Section 2.2 (DESIGN.md invariant 4)."""
+
+from math import gcd
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Filter, IntSink, IntSource
+from repro.streamit.frames import FrameAnalysis, edge_frame_analysis
+
+rates = st.integers(min_value=1, max_value=20_000)
+
+
+class TestEdgeFrameAnalysis:
+    def test_paper_fig2_example(self):
+        """F6 pushes 192, F7 pops 15360 -> 15360-item frames, 80:1 firings."""
+        relation = edge_frame_analysis(192, 15360)
+        assert relation.items_per_frame == 15360
+        assert relation.producer_firings == 80
+        assert relation.consumer_firings == 1
+
+    def test_equal_rates(self):
+        relation = edge_frame_analysis(7, 7)
+        assert relation.items_per_frame == 7
+        assert relation.producer_firings == relation.consumer_firings == 1
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            edge_frame_analysis(0, 5)
+
+    @given(rates, rates)
+    def test_frame_is_exact_multiple_of_both_rates(self, push, pop):
+        relation = edge_frame_analysis(push, pop)
+        assert relation.items_per_frame % push == 0
+        assert relation.items_per_frame % pop == 0
+        assert relation.producer_firings * push == relation.items_per_frame
+        assert relation.consumer_firings * pop == relation.items_per_frame
+
+    @given(rates, rates)
+    def test_frame_is_minimal(self, push, pop):
+        relation = edge_frame_analysis(push, pop)
+        assert relation.items_per_frame == push * pop // gcd(push, pop)
+
+
+class Rate(Filter):
+    def __init__(self, name, pop, push):
+        super().__init__(name, input_rates=(pop,), output_rates=(push,))
+
+    def work(self, inputs):
+        return [list(inputs[0]) * (self.output_rates[0] // max(1, len(inputs[0])))]
+
+
+class TestApplicationFrames:
+    def make(self):
+        graph = pipeline(
+            [IntSource("s", [0] * 4, 4), Rate("r", 2, 3), IntSink("k", 6)]
+        )
+        return graph, FrameAnalysis.of(graph)
+
+    def test_items_per_frame_balances_edges(self):
+        graph, frames = self.make()
+        for edge in graph.edges:
+            items = frames.items_per_frame[edge.qid]
+            assert items == frames.firings_per_frame[edge.src] * edge.push_rate
+            assert items == frames.firings_per_frame[edge.dst] * edge.pop_rate
+
+    def test_instructions_per_frame(self):
+        graph, frames = self.make()
+        node = graph.node_by_name("r")
+        expected = frames.firings_per_frame[node] * node.instruction_cost()
+        assert frames.instructions_per_frame(node) == expected
+
+    def test_median_instructions(self):
+        graph, frames = self.make()
+        assert frames.median_instructions_per_frame(graph) > 0
+
+    def test_frame_items_ratio(self):
+        graph, frames = self.make()
+        assert frames.frame_items_ratio(graph) > 0

@@ -1,0 +1,113 @@
+"""Tests for stream-graph construction and validation."""
+
+import pytest
+
+from repro.streamit.filters import Identity, IntSink, IntSource, DuplicateSplitter, RoundRobinJoiner
+from repro.streamit.graph import StreamGraph
+
+
+def simple_nodes():
+    graph = StreamGraph()
+    source = graph.add_node(IntSource("src", [1, 2], rate=1))
+    mid = graph.add_node(Identity("mid"))
+    sink = graph.add_node(IntSink("snk"))
+    return graph, source, mid, sink
+
+
+class TestConstruction:
+    def test_connect_returns_edge_with_rates(self):
+        graph, source, mid, sink = simple_nodes()
+        edge = graph.connect(source, mid)
+        assert edge.push_rate == 1 and edge.pop_rate == 1
+        assert edge.qid == 0
+
+    def test_duplicate_names_rejected(self):
+        graph = StreamGraph()
+        graph.add_node(Identity("same"))
+        with pytest.raises(ValueError):
+            graph.add_node(Identity("same"))
+
+    def test_connect_unknown_node_rejected(self):
+        graph, source, mid, sink = simple_nodes()
+        stranger = Identity("stranger")
+        with pytest.raises(ValueError):
+            graph.connect(source, stranger)
+
+    def test_double_connect_same_port_rejected(self):
+        graph, source, mid, sink = simple_nodes()
+        graph.connect(source, mid)
+        with pytest.raises(ValueError):
+            graph.connect(source, sink)  # source port 0 already used
+
+    def test_invalid_port_rejected(self):
+        graph, source, mid, sink = simple_nodes()
+        with pytest.raises(ValueError):
+            graph.connect(source, mid, src_port=1)
+        with pytest.raises(ValueError):
+            graph.connect(source, mid, dst_port=5)
+
+
+class TestQueries:
+    def test_in_out_edges_ordered_by_port(self):
+        graph = StreamGraph()
+        source = graph.add_node(IntSource("src", [1], rate=1))
+        split = graph.add_node(DuplicateSplitter("sp", 2))
+        join = graph.add_node(RoundRobinJoiner("jn", [1, 1]))
+        sink = graph.add_node(IntSink("snk", rate=2))
+        graph.connect(source, split)
+        graph.connect(split, join, src_port=1, dst_port=1)
+        graph.connect(split, join, src_port=0, dst_port=0)
+        graph.connect(join, sink)
+        out = graph.out_edges(split)
+        assert [e.src_port for e in out] == [0, 1]
+        inn = graph.in_edges(join)
+        assert [e.dst_port for e in inn] == [0, 1]
+
+    def test_sources_and_sinks(self):
+        graph, source, mid, sink = simple_nodes()
+        assert graph.sources() == [source]
+        assert graph.sinks() == [sink]
+
+    def test_node_by_name(self):
+        graph, source, *_ = simple_nodes()
+        assert graph.node_by_name("src") is source
+        with pytest.raises(KeyError):
+            graph.node_by_name("nope")
+
+
+class TestValidation:
+    def test_valid_pipeline_passes(self):
+        graph, source, mid, sink = simple_nodes()
+        graph.connect(source, mid)
+        graph.connect(mid, sink)
+        graph.validate()
+
+    def test_unconnected_port_fails(self):
+        graph, source, mid, sink = simple_nodes()
+        graph.connect(source, mid)
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_cycle_detected(self):
+        graph = StreamGraph()
+        a = graph.add_node(Identity("a"))
+        b = graph.add_node(Identity("b"))
+        graph.connect(a, b)
+        graph.connect(b, a)
+        with pytest.raises(ValueError, match="cycle|source"):
+            graph.validate()
+
+    def test_topological_order_respects_edges(self):
+        graph, source, mid, sink = simple_nodes()
+        graph.connect(source, mid)
+        graph.connect(mid, sink)
+        order = graph.topological_order()
+        assert order.index(source) < order.index(mid) < order.index(sink)
+
+    def test_reset_propagates(self):
+        graph, source, mid, sink = simple_nodes()
+        source.work([])
+        sink.work([[9]])
+        graph.reset()
+        assert sink.collected == []
+        assert source.work([]) == [[1]]

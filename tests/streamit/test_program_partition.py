@@ -1,0 +1,94 @@
+"""Tests for program compilation and the cluster-backend partitioner."""
+
+import pytest
+
+from repro.streamit.builders import pipeline
+from repro.streamit.filters import Identity, IntSink, IntSource
+from repro.streamit.frames import FrameAnalysis
+from repro.streamit.partition import partition_graph
+from repro.streamit.program import StreamProgram
+
+
+def make_graph(n_items=8, n_mid=3):
+    filters = [IntSource("s", list(range(n_items)), rate=1)]
+    filters += [Identity(f"m{i}") for i in range(n_mid)]
+    filters += [IntSink("k")]
+    return pipeline(filters)
+
+
+class TestProgramCompile:
+    def test_compile_derives_frames(self):
+        program = StreamProgram.compile(make_graph(n_items=8))
+        assert program.n_frames == 8
+
+    def test_firings_of(self):
+        program = StreamProgram.compile(make_graph(n_items=8))
+        node = program.graph.node_by_name("m0")
+        assert program.firings_of(node) == 8
+
+    def test_expected_output_lengths(self):
+        program = StreamProgram.compile(make_graph(n_items=8))
+        assert program.expected_output_lengths() == {"k": 8}
+
+    def test_total_instruction_estimate_positive(self):
+        program = StreamProgram.compile(make_graph())
+        assert program.total_instruction_estimate() > 0
+
+    def test_ragged_input_rejected(self):
+        graph = pipeline(
+            [IntSource("s", [1, 2, 3], rate=1), IntSink("k", rate=2)]
+        )
+        with pytest.raises(ValueError, match="whole"):
+            StreamProgram.compile(graph)
+
+    def test_invalid_graph_rejected(self):
+        graph = make_graph()
+        graph.add_node(Identity("dangling"))
+        with pytest.raises(ValueError):
+            StreamProgram.compile(graph)
+
+    def test_source_without_length_rejected(self):
+        from repro.streamit.filters import Filter
+
+        class Endless(Filter):
+            def __init__(self):
+                super().__init__("endless", output_rates=(1,))
+
+            def work(self, inputs):
+                return [[0]]
+
+        graph = pipeline([Endless(), IntSink("k")])
+        with pytest.raises(TypeError, match="total_firings"):
+            StreamProgram.compile(graph)
+
+
+class TestPartitioner:
+    def test_one_node_per_core_when_enough_cores(self):
+        graph = make_graph(n_mid=3)  # 5 nodes
+        assignment = partition_graph(graph, n_cores=10)
+        assert sorted(assignment.values()) == list(range(5))
+
+    def test_packs_when_fewer_cores(self):
+        graph = make_graph(n_mid=8)  # 10 nodes
+        assignment = partition_graph(graph, n_cores=4)
+        assert set(assignment.values()) <= set(range(4))
+        # every core used
+        assert len(set(assignment.values())) == 4
+
+    def test_balances_load(self):
+        graph = make_graph(n_mid=8)
+        frames = FrameAnalysis.of(graph)
+        assignment = partition_graph(graph, n_cores=2, frames=frames)
+        loads = {0: 0, 1: 0}
+        for node, core in assignment.items():
+            loads[core] += frames.instructions_per_frame(node)
+        heavier, lighter = max(loads.values()), min(loads.values())
+        assert heavier <= 2 * lighter
+
+    def test_deterministic(self):
+        graph = make_graph(n_mid=8)
+        assert partition_graph(graph, 3) == partition_graph(graph, 3)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            partition_graph(make_graph(), 0)

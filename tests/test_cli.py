@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, _parse_mtbe, build_parser, main
+
+
+class TestMtbeParsing:
+    def test_plain_number(self):
+        assert _parse_mtbe("64000") == 64_000
+
+    def test_k_suffix(self):
+        assert _parse_mtbe("512k") == 512_000
+
+    def test_m_suffix(self):
+        assert _parse_mtbe("1M") == 1_000_000
+        assert _parse_mtbe("2.5m") == 2_500_000
+
+    def test_rejects_nonpositive(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mtbe("0")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.protection == "commguard"
+        assert args.mtbe is None
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake"])
+
+    def test_figure_choices_cover_all_artifacts(self):
+        expected = {
+            "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "tables", "ablations", "campaign",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "jpeg" in out and "fig14" in out
+
+    def test_run_error_free(self, capsys):
+        code = main(["run", "fft", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error-free" in out
+        assert "committed instructions" in out
+
+    def test_run_with_errors(self, capsys):
+        code = main(
+            ["run", "complex-fir", "--mtbe", "30k", "--scale", "0.05",
+             "--protection", "ppu-reliable-queue"]
+        )
+        assert code == 0
+        assert "ppu-reliable-queue" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1", "--scale", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100k" in out
+
+    def test_figure_tables(self, capsys):
+        assert main(["figure", "tables"]) == 0
+        assert "Table 1" in capsys.readouterr().out

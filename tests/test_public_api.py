@@ -1,0 +1,79 @@
+"""Public-API surface and example-script smoke tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+class TestPublicApi:
+    def test_root_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_exports(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_streamit_exports(self):
+        import repro.streamit as streamit
+
+        for name in streamit.__all__:
+            assert getattr(streamit, name) is not None
+
+    def test_apps_exports(self):
+        import repro.apps as apps
+
+        for name in apps.__all__:
+            assert getattr(apps, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_experiment_modules_have_main(self):
+        import importlib
+
+        from repro.cli import FIGURES
+
+        for module_name, _ in FIGURES.values():
+            module = importlib.import_module(module_name)
+            assert callable(module.main), module_name
+
+
+class TestExampleScripts:
+    """The fastest example scripts must run end to end."""
+
+    @pytest.mark.parametrize(
+        "script", ["custom_app_guarded.py", "tagged_mapreduce.py"]
+    )
+    def test_example_runs(self, script, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "jpeg_error_sweep.py",
+            "mp3_frame_sizes.py",
+            "protection_comparison.py",
+            "custom_app_guarded.py",
+            "tagged_mapreduce.py",
+            "alignment_trace.py",
+        } <= names

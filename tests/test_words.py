@@ -1,0 +1,98 @@
+"""Tests for 32-bit word helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.words import (
+    WORD_MASK,
+    flip_bit,
+    float_to_word,
+    hamming_distance,
+    int_to_word,
+    word_to_float,
+    word_to_int,
+    word_to_uint,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestFloatWords:
+    def test_roundtrip_simple(self):
+        for value in (0.0, 1.0, -1.0, 0.5, -2.25, 1e10, -1e-10):
+            assert word_to_float(float_to_word(value)) == pytest.approx(
+                value, rel=1e-6
+            )
+
+    def test_zero_is_word_zero(self):
+        assert float_to_word(0.0) == 0
+
+    def test_nan_maps_to_canonical_quiet_nan(self):
+        assert float_to_word(float("nan")) == 0x7FC00000
+        assert math.isnan(word_to_float(0x7FC00000))
+
+    def test_overflow_saturates_to_inf(self):
+        assert word_to_float(float_to_word(1e300)) == math.inf
+        assert word_to_float(float_to_word(-1e300)) == -math.inf
+
+    def test_known_encoding(self):
+        assert float_to_word(1.0) == 0x3F800000
+        assert word_to_float(0xBF800000) == -1.0
+
+    @given(words)
+    def test_word_float_word_roundtrip(self, word):
+        value = word_to_float(word)
+        if not math.isnan(value):
+            assert float_to_word(value) == word
+
+
+class TestIntWords:
+    def test_roundtrip_positive(self):
+        assert word_to_int(int_to_word(12345)) == 12345
+
+    def test_roundtrip_negative(self):
+        assert word_to_int(int_to_word(-12345)) == -12345
+
+    def test_truncates_to_32_bits(self):
+        assert int_to_word(1 << 40) == 0
+
+    def test_uint_view(self):
+        assert word_to_uint(int_to_word(-1)) == WORD_MASK
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_signed_roundtrip(self, value):
+        assert word_to_int(int_to_word(value)) == value
+
+    @given(words)
+    def test_unsigned_roundtrip(self, word):
+        assert int_to_word(word_to_uint(word)) == word
+
+
+class TestFlipBit:
+    def test_flips_one_bit(self):
+        assert flip_bit(0, 0) == 1
+        assert flip_bit(0, 31) == 0x80000000
+
+    def test_double_flip_is_identity(self):
+        assert flip_bit(flip_bit(0xDEADBEEF, 13), 13) == 0xDEADBEEF
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 32)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    @given(words, st.integers(min_value=0, max_value=31))
+    def test_flip_changes_exactly_one_bit(self, word, bit):
+        flipped = flip_bit(word, bit)
+        assert hamming_distance(word, flipped) == 1
+
+    @given(words, words)
+    def test_hamming_distance_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    def test_hamming_distance_zero(self):
+        assert hamming_distance(42, 42) == 0
