@@ -15,6 +15,7 @@ import sys
 from repro import ProtectionLevel, run_program
 from repro.apps import build_app
 from repro.cli import _parse_mtbe
+from repro.quality.metrics import QUALITY_CAP_DB
 
 LEVELS = (
     ProtectionLevel.ERROR_FREE,
@@ -33,7 +34,7 @@ def main(app_name: str = "jpeg", mtbe: float = 500_000, seeds: int = 3) -> None:
         n = 1 if level is ProtectionLevel.ERROR_FREE else seeds
         for seed in range(n):
             result = run_program(app.program, level, mtbe=mtbe, seed=seed)
-            qualities.append(min(app.quality(result), 96.0))
+            qualities.append(min(app.quality(result), QUALITY_CAP_DB))
         mean = sum(qualities) / len(qualities)
         print(f"  {level.value:22s} {metric} {mean:6.1f} dB")
 

@@ -6,19 +6,31 @@ Commands:
 * ``run`` — run one benchmark under a protection level and error rate.
 * ``figure`` — regenerate one of the paper's figures/tables.
 * ``sweep`` — MTBE sweep of one benchmark (quality + loss per point).
+* ``cache`` — inspect or clear the on-disk result cache.
+
+``figure`` and ``sweep`` execute through the parallel sweep engine:
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans independent
+runs out over N worker processes, and completed points are memoized under
+``.repro_cache/`` (``--no-cache`` disables; ``REPRO_CACHE_DIR`` moves the
+root) so re-running a figure or resuming an interrupted sweep skips
+finished work.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from repro.apps.registry import APP_ORDER, build_app
 from repro.core.config import CommGuardConfig
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.machine.protection import ProtectionLevel
 from repro.machine.system import run_program
+from repro.quality.metrics import QUALITY_CAP_DB
 
 FIGURES = {
     "fig3": ("repro.experiments.fig03_motivation", "jpeg under 4 protection levels"),
@@ -55,6 +67,37 @@ def _parse_mtbe(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError("MTBE must be positive")
     return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _cache_option(args: argparse.Namespace):
+    """The engine cache option for a parsed command line."""
+    return not getattr(args, "no_cache", False)
+
+
+def _progress_printer(stream=sys.stderr):
+    """Progress callback printing one line per ~completed 10% of a sweep."""
+    last_shown = -1
+
+    def show(stats: SweepStats) -> None:
+        nonlocal last_shown
+        decile = 10 * stats.completed // max(stats.total, 1)
+        if decile != last_shown or stats.completed == stats.total:
+            last_shown = decile
+            print(
+                f"  [{stats.completed}/{stats.total}] "
+                f"{stats.cache_hits} cached, {stats.wall_seconds:.1f}s",
+                file=stream,
+                flush=True,
+            )
+
+    return show
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -105,24 +148,39 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
     module_name, _description = FIGURES[args.name]
     module = importlib.import_module(module_name)
+    supported = inspect.signature(module.main).parameters
     kwargs = {}
-    if args.scale is not None:
+    if args.scale is not None and "scale" in supported:
         kwargs["scale"] = args.scale
+    if "jobs" in supported:
+        kwargs["jobs"] = args.jobs
+    if "cache" in supported:
+        kwargs["cache"] = _cache_option(args)
     print(module.main(**kwargs))
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    app = build_app(args.app, scale=args.scale)
     protection = PROTECTION_ALIASES[args.protection]
+    runner = ParallelRunner(
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=_cache_option(args),
+        progress=_progress_printer() if args.progress else None,
+    )
+    app = runner.app(args.app)
+    ladder = [_parse_mtbe(text) for text in args.mtbe]
+    specs = [
+        RunSpec(app=args.app, protection=protection, mtbe=mtbe, seed=seed)
+        for mtbe in ladder
+        for seed in range(args.seeds)
+    ]
+    records = runner.run_specs(specs)
     rows = []
-    for mtbe_text in args.mtbe:
-        mtbe = _parse_mtbe(mtbe_text)
-        qualities, losses = [], []
-        for seed in range(args.seeds):
-            result = run_program(app.program, protection, mtbe=mtbe, seed=seed)
-            qualities.append(min(app.quality(result), 96.0))
-            losses.append(result.data_loss_ratio())
+    for index, mtbe in enumerate(ladder):
+        chunk = records[index * args.seeds : (index + 1) * args.seeds]
+        qualities = [min(r.quality_db, QUALITY_CAP_DB) for r in chunk]
+        losses = [r.data_loss_ratio for r in chunk]
         rows.append(
             [
                 f"{mtbe / 1000:.0f}k",
@@ -132,7 +190,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(f"{args.app} under {protection.value} ({args.seeds} seeds/point)")
     print(format_table(["MTBE", f"mean {app.metric.upper()} (dB)", "loss ratio"], rows))
+    if runner.last_stats is not None:
+        print(f"[sweep] {runner.last_stats.summary()}")
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    else:
+        print(f"{len(cache)} cached result(s) under {cache.root}")
+    return 0
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read/write the .repro_cache/ result cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", choices=list(FIGURES))
     figure_parser.add_argument("--scale", type=float, default=None)
+    _add_engine_options(figure_parser)
     figure_parser.set_defaults(func=cmd_figure)
 
     sweep_parser = sub.add_parser("sweep", help="MTBE sweep of one benchmark")
@@ -175,7 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--seeds", type=int, default=3)
     sweep_parser.add_argument("--scale", type=float, default=0.5)
+    sweep_parser.add_argument(
+        "--progress", action="store_true", help="print progress lines to stderr"
+    )
+    _add_engine_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    cache_parser = sub.add_parser("cache", help="inspect/clear the result cache")
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument(
+        "--dir", default=None, help="cache root (default: .repro_cache/)"
+    )
+    cache_parser.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -10,6 +10,8 @@ All harnesses accept a ``scale`` parameter shrinking the benchmark inputs
 EXPERIMENTS.md records paper-vs-measured values at the recorded scales.
 """
 
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
 from repro.experiments.runner import RunRecord, SimulationRunner
 from repro.experiments.sweeps import (
     FRAME_SCALES,
@@ -23,6 +25,10 @@ __all__ = [
     "MTBE_LADDER_LOSS",
     "MTBE_LADDER_QUALITY",
     "PAPER_SEEDS",
+    "ParallelRunner",
+    "ResultCache",
     "RunRecord",
+    "RunSpec",
     "SimulationRunner",
+    "SweepStats",
 ]

@@ -11,18 +11,21 @@ figures, supporting its claims directly).
   rate of the error model (DESIGN.md §7's calibration knob).
 * **Working-set sizing** — the QM's ECC overhead vs sub-region size
   (Section 5.1's 320KB/8 design point is a latency/overhead trade).
+
+All three sweeps express their points as :class:`RunSpec`s (the error-model
+overrides and the ``workset_units`` knob are spec fields) and execute
+through the parallel engine in one fan-out each.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import CommGuardConfig
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
-from repro.machine.errors import ErrorModel
 from repro.machine.protection import ProtectionLevel
-from repro.machine.system import run_program
+from repro.quality.metrics import QUALITY_CAP_DB
 
 CLASS_MODELS = {
     "data-only": dict(p_data=1.0, p_control=0.0, p_address=0.0),
@@ -44,31 +47,45 @@ class ClassAblationCell:
     mean_quality_db: float
 
 
+def _mean_capped_quality(records) -> float:
+    return sum(min(r.quality_db, QUALITY_CAP_DB) for r in records) / len(records)
+
+
 def error_class_decomposition(
     app_name: str = "jpeg",
     mtbe: float = 400_000,
     scale: float = 1.0,
     n_seeds: int = 3,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[ClassAblationCell]:
     """Quality per (error class, protection level), unmasked errors only."""
-    runner = runner or SimulationRunner(scale=scale)
-    app = runner.app(app_name)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    cells_axes = [
+        (class_name, level)
+        for class_name in CLASS_MODELS
+        for level in LEVELS
+    ]
+    specs = [
+        RunSpec(
+            app=app_name,
+            protection=level,
+            mtbe=mtbe,
+            seed=seed,
+            p_masked=0.0,
+            **CLASS_MODELS[class_name],
+        )
+        for class_name, level in cells_axes
+        for seed in range(n_seeds)
+    ]
+    records = runner.run_specs(specs)
     cells = []
-    for class_name, mix in CLASS_MODELS.items():
-        model = ErrorModel(mtbe=mtbe, p_masked=0.0, **mix)
-        for level in LEVELS:
-            qualities = []
-            for seed in range(n_seeds):
-                result = run_program(
-                    app.program, level, error_model=model, seed=seed
-                )
-                qualities.append(min(app.quality(result), 96.0))
-            cells.append(
-                ClassAblationCell(
-                    class_name, level, sum(qualities) / len(qualities)
-                )
-            )
+    for index, (class_name, level) in enumerate(cells_axes):
+        chunk = records[index * n_seeds : (index + 1) * n_seeds]
+        cells.append(
+            ClassAblationCell(class_name, level, _mean_capped_quality(chunk))
+        )
     return cells
 
 
@@ -79,21 +96,29 @@ def masking_sensitivity(
     n_seeds: int = 3,
     masking_rates: tuple[float, ...] = (0.0, 0.5, 0.8, 0.95),
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[float, float]:
     """Mean CommGuard quality vs the masked fraction of injected errors."""
-    runner = runner or SimulationRunner(scale=scale)
-    app = runner.app(app_name)
-    results = {}
-    for p_masked in masking_rates:
-        model = ErrorModel(mtbe=mtbe, p_masked=p_masked)
-        qualities = []
-        for seed in range(n_seeds):
-            result = run_program(
-                app.program, ProtectionLevel.COMMGUARD, error_model=model, seed=seed
-            )
-            qualities.append(min(app.quality(result), 96.0))
-        results[p_masked] = sum(qualities) / len(qualities)
-    return results
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    specs = [
+        RunSpec(
+            app=app_name,
+            protection=ProtectionLevel.COMMGUARD,
+            mtbe=mtbe,
+            seed=seed,
+            p_masked=p_masked,
+        )
+        for p_masked in masking_rates
+        for seed in range(n_seeds)
+    ]
+    records = runner.run_specs(specs)
+    return {
+        p_masked: _mean_capped_quality(
+            records[index * n_seeds : (index + 1) * n_seeds]
+        )
+        for index, p_masked in enumerate(masking_rates)
+    }
 
 
 def workset_size_overhead(
@@ -101,24 +126,34 @@ def workset_size_overhead(
     scale: float = 0.5,
     workset_sizes: tuple[int, ...] = (8, 32, 256, 2048),
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[int, float]:
     """ECC suboperations per committed instruction vs working-set size."""
-    runner = runner or SimulationRunner(scale=scale)
-    app = runner.app(app_name)
-    results = {}
-    for units in workset_sizes:
-        result = run_program(
-            app.program,
-            ProtectionLevel.COMMGUARD,
-            error_model=ErrorModel.error_free(),
-            commguard_config=CommGuardConfig(workset_units=units),
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    specs = [
+        RunSpec(
+            app=app_name,
+            protection=ProtectionLevel.COMMGUARD,
+            mtbe=None,
+            workset_units=units,
         )
-        results[units] = result.subop_ratios()["ecc"]
-    return results
+        for units in workset_sizes
+    ]
+    records = runner.run_specs(specs)
+    return {
+        units: record.subop_ratios["ecc"]
+        for units, record in zip(workset_sizes, records)
+    }
 
 
-def main(scale: float = 1.0, n_seeds: int = 3) -> str:
-    runner = SimulationRunner(scale=scale)
+def main(
+    scale: float = 1.0,
+    n_seeds: int = 3,
+    jobs: int | None = None,
+    cache=None,
+) -> str:
+    runner = ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     sections = []
 
     cells = error_class_decomposition(n_seeds=n_seeds, runner=runner)
@@ -148,7 +183,9 @@ def main(scale: float = 1.0, n_seeds: int = 3) -> str:
         )
     )
 
-    worksets = workset_size_overhead(runner=SimulationRunner(scale=0.5))
+    worksets = workset_size_overhead(
+        runner=ParallelRunner(scale=0.5, jobs=jobs, cache=cache)
+    )
     sections.append(
         "Ablation: QM ECC suboperation ratio vs working-set size (error-free)\n"
         + format_table(

@@ -1,0 +1,144 @@
+"""On-disk result cache for the parallel sweep engine.
+
+Every simulated point is fully determined by its :class:`RunSpec` plus the
+app-build ``scale`` — per-spec seeding makes runs independent and
+bit-reproducible — so completed :class:`RunRecord`s can be memoized on disk
+and reused when a figure is regenerated or an interrupted campaign resumes.
+
+Layout (one JSON file per run, sharded by key prefix)::
+
+    .repro_cache/
+        ab/abcdef....json     # {"spec": {...}, "scale": ..., "record": {...}}
+        cd/cd1234....json
+
+The cache root defaults to ``.repro_cache/`` in the working directory and
+can be moved with the ``REPRO_CACHE_DIR`` environment variable.  Entries
+are keyed by a SHA-256 content hash over the canonical JSON encoding of
+the spec, the scale, and a format-version tag, so any change to a spec
+field — or to the record schema — invalidates cleanly.  Delete the
+directory (or call :meth:`ResultCache.clear`) to drop all entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.experiments.runner import RunRecord
+from repro.machine.protection import ProtectionLevel
+
+#: Bump when the RunSpec/RunRecord schema (or run semantics) change; old
+#: cache entries then miss instead of resurfacing stale results.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def spec_key(spec, scale: float) -> str:
+    """Deterministic content key of one (spec, app-build scale) point."""
+    payload = dataclasses.asdict(spec)
+    payload["protection"] = spec.protection.value
+    payload["scale"] = repr(float(scale))
+    payload["version"] = CACHE_VERSION
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    data = dataclasses.asdict(record)
+    data["protection"] = record.protection.value
+    return data
+
+
+def record_from_dict(data: dict) -> RunRecord:
+    fields = dict(data)
+    fields["protection"] = ProtectionLevel(fields["protection"])
+    return RunRecord(**fields)
+
+
+class ResultCache:
+    """JSON file cache of completed :class:`RunRecord`s, keyed by spec hash."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    @classmethod
+    def coerce(
+        cls, cache: "ResultCache | str | Path | bool | None"
+    ) -> "ResultCache | None":
+        """Normalize a user-facing cache option.
+
+        ``None``/``False`` disable caching, ``True`` uses the default
+        location, a path selects a root, a :class:`ResultCache` passes
+        through.
+        """
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return cls()
+        if isinstance(cache, cls):
+            return cache
+        return cls(cache)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> RunRecord | None:
+        """The cached record for *key*, or ``None`` (corrupt files miss)."""
+        try:
+            with open(self.path(key)) as handle:
+                payload = json.load(handle)
+            return record_from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, spec, scale: float, record: RunRecord) -> None:
+        """Persist one completed record (atomic write; best-effort on OSError)."""
+        payload = {
+            "spec": {**dataclasses.asdict(spec), "protection": spec.protection.value},
+            "scale": scale,
+            "record": record_to_dict(record),
+        }
+        path = self.path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            return
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

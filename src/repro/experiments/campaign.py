@@ -12,20 +12,28 @@ protection level and bucket every run.
 ``DEGRADED``     visibly degraded but above the catastrophic floor
 ``CATASTROPHIC`` quality at/below the floor, or the run hung / timed out
 ===============  ==============================================================
+
+Campaigns execute through the parallel sweep engine
+(:class:`~repro.experiments.parallel.ParallelRunner`): the per-seed runs
+are independent replicated tasks that fan out over worker processes, share
+the runner's built-app cache (including the error-free baseline used for
+classification), and honour ``frame_scale`` and the CommGuard design knobs
+of a :class:`RunSpec`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.apps.base import BenchmarkApp
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.machine.protection import ProtectionLevel
-from repro.machine.system import run_program
+from repro.quality.metrics import QUALITY_CAP_DB
 
 
 class Outcome(enum.Enum):
@@ -79,7 +87,7 @@ def classify_outcome(
     baseline_db: float,
     hung: bool,
     thresholds: OutcomeThresholds,
-    quality_cap_db: float = 96.0,
+    quality_cap_db: float = QUALITY_CAP_DB,
 ) -> Outcome:
     """Bucket one run's result."""
     if hung:
@@ -95,26 +103,59 @@ def classify_outcome(
 
 
 def run_campaign(
-    app: BenchmarkApp,
+    app: BenchmarkApp | str,
     protection: ProtectionLevel,
     mtbe: float,
     n_runs: int = 20,
     thresholds: OutcomeThresholds | None = None,
     seed_base: int = 0,
+    frame_scale: int = 1,
+    spec: RunSpec | None = None,
+    runner: SimulationRunner | None = None,
+    jobs: int | None = None,
 ) -> CampaignResult:
-    """Inject faults across *n_runs* seeds and classify every outcome."""
+    """Inject faults across *n_runs* seeds and classify every outcome.
+
+    *app* is a benchmark name or a prebuilt :class:`BenchmarkApp` (a
+    prebuilt app is adopted into the runner's cache, so its build scale
+    must match the runner's).  *spec* optionally carries non-default
+    CommGuard knobs / error-model overrides for every run; its
+    app/protection/mtbe/seed fields are overwritten by the campaign's.
+    When *runner* is omitted a serial in-process engine is used.
+    """
     thresholds = thresholds or OutcomeThresholds()
-    baseline = min(app.baseline_quality(), 96.0)
-    result = CampaignResult(app=app.name, protection=protection, mtbe=mtbe)
+    if runner is None:
+        runner = ParallelRunner(jobs=1)
+    if isinstance(app, BenchmarkApp):
+        runner.adopt_app(app)
+        app_name = app.name
+    else:
+        app_name = app
+    baseline = min(runner.app(app_name).baseline_quality(), QUALITY_CAP_DB)
+
+    base_spec = spec or RunSpec(app=app_name)
+    specs = [
+        replace(
+            base_spec,
+            app=app_name,
+            protection=protection,
+            mtbe=mtbe,
+            seed=seed,
+            frame_scale=frame_scale,
+        )
+        for seed in range(seed_base, seed_base + n_runs)
+    ]
+    records = runner.run_specs(specs, jobs=jobs)
+
+    result = CampaignResult(app=app_name, protection=protection, mtbe=mtbe)
     for outcome in Outcome:
         result.counts[outcome] = 0
-    for seed in range(seed_base, seed_base + n_runs):
-        run = run_program(app.program, protection, mtbe=mtbe, seed=seed)
-        quality = min(app.quality(run), 96.0)
-        outcome = classify_outcome(quality, baseline, run.hung, thresholds)
+    for record in records:
+        quality = min(record.quality_db, QUALITY_CAP_DB)
+        outcome = classify_outcome(quality, baseline, record.hung, thresholds)
         result.counts[outcome] += 1
         result.qualities.append(quality)
-        result.total_errors_injected += run.errors_injected
+        result.total_errors_injected += record.errors_injected
     return result
 
 
@@ -124,6 +165,8 @@ def compare_protections(
     n_runs: int = 10,
     scale: float = 1.0,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
     protections: tuple[ProtectionLevel, ...] = (
         ProtectionLevel.PPU_ONLY,
         ProtectionLevel.PPU_RELIABLE_QUEUE,
@@ -131,18 +174,26 @@ def compare_protections(
     ),
 ) -> dict[ProtectionLevel, CampaignResult]:
     """One campaign per protection level, same app and error process."""
-    runner = runner or SimulationRunner(scale=scale)
-    app = runner.app(app_name)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     return {
-        protection: run_campaign(app, protection, mtbe, n_runs=n_runs)
+        protection: run_campaign(
+            app_name, protection, mtbe, n_runs=n_runs, runner=runner
+        )
         for protection in protections
     }
 
 
 def main(
-    app_name: str = "jpeg", mtbe: float = 400_000, n_runs: int = 10, scale: float = 1.0
+    app_name: str = "jpeg",
+    mtbe: float = 400_000,
+    n_runs: int = 10,
+    scale: float = 1.0,
+    jobs: int | None = None,
+    cache=None,
 ) -> str:
-    results = compare_protections(app_name, mtbe=mtbe, n_runs=n_runs, scale=scale)
+    results = compare_protections(
+        app_name, mtbe=mtbe, n_runs=n_runs, scale=scale, jobs=jobs, cache=cache
+    )
     rows = []
     for protection, campaign in results.items():
         rows.append(

@@ -6,6 +6,10 @@ queue (3c), and PPU cores with CommGuard (3d).  We report PSNR per
 configuration (and can dump the images as PPM files); the expected shape is
 3a = lossy baseline, 3b and 3c degraded far below it (QME corruption and
 permanent misalignment respectively), 3d close to the baseline.
+
+Without image dumping the (protection, seed) grid fans out through the
+parallel engine in one call; dumping needs the raw run output, so that
+path executes in-process.
 """
 
 from __future__ import annotations
@@ -13,11 +17,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.experiments.sweeps import seed_list
 from repro.machine.protection import ProtectionLevel
 from repro.quality.images import write_ppm
+from repro.quality.metrics import QUALITY_CAP_DB
 
 PROTECTIONS = (
     ProtectionLevel.ERROR_FREE,
@@ -42,25 +48,63 @@ class Fig3Row:
     max_psnr: float
 
 
+def _seeds_for(protection: ProtectionLevel, n_seeds: int) -> list[int]:
+    return [0] if protection is ProtectionLevel.ERROR_FREE else seed_list(n_seeds)
+
+
 def run(
     mtbe: float = 1_000_000,
     scale: float = 2.0,
     n_seeds: int = 3,
     dump_dir: str | None = None,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[Fig3Row]:
-    runner = runner or SimulationRunner(scale=scale)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    if dump_dir is not None:
+        return _run_with_dump(mtbe, n_seeds, dump_dir, runner)
+    grid = [
+        (protection, seed)
+        for protection in PROTECTIONS
+        for seed in _seeds_for(protection, n_seeds)
+    ]
+    records = runner.run_specs(
+        [
+            RunSpec(app="jpeg", protection=protection, mtbe=mtbe, seed=seed)
+            for protection, seed in grid
+        ]
+    )
+    rows = []
+    for protection in PROTECTIONS:
+        qualities = [
+            min(record.quality_db, QUALITY_CAP_DB)
+            for (rec_protection, _), record in zip(grid, records)
+            if rec_protection is protection
+        ]
+        rows.append(
+            Fig3Row(
+                protection=protection,
+                mean_psnr=sum(qualities) / len(qualities),
+                min_psnr=min(qualities),
+                max_psnr=max(qualities),
+            )
+        )
+    return rows
+
+
+def _run_with_dump(
+    mtbe: float, n_seeds: int, dump_dir: str, runner: SimulationRunner
+) -> list[Fig3Row]:
     app = runner.app("jpeg")
     rows = []
     for protection in PROTECTIONS:
         qualities = []
-        seeds = [0] if protection is ProtectionLevel.ERROR_FREE else seed_list(n_seeds)
+        seeds = _seeds_for(protection, n_seeds)
         for seed in seeds:
-            record, result = runner.execute(
-                "jpeg", protection, mtbe=mtbe, seed=seed
-            )
-            qualities.append(min(record.quality_db, 96.0))
-            if dump_dir is not None and seed == seeds[0]:
+            record, result = runner.execute("jpeg", protection, mtbe=mtbe, seed=seed)
+            qualities.append(min(record.quality_db, QUALITY_CAP_DB))
+            if seed == seeds[0]:
                 image = app.output_signal(result).astype("uint8")
                 path = os.path.join(
                     dump_dir, f"fig3_{protection.value.replace('-', '_')}.ppm"
@@ -77,8 +121,16 @@ def run(
     return rows
 
 
-def main(scale: float = 2.0, n_seeds: int = 3, dump_dir: str | None = None) -> str:
-    rows = run(scale=scale, n_seeds=n_seeds, dump_dir=dump_dir)
+def main(
+    scale: float = 2.0,
+    n_seeds: int = 3,
+    dump_dir: str | None = None,
+    jobs: int | None = None,
+    cache=None,
+) -> str:
+    rows = run(
+        scale=scale, n_seeds=n_seeds, dump_dir=dump_dir, jobs=jobs, cache=cache
+    )
     text = "Figure 3: jpeg under protection mechanisms (MTBE = 1M instructions)\n"
     text += format_table(
         ["configuration", "mean PSNR (dB)", "min", "max"],

@@ -11,14 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.plotting import quality_chart
 from repro.experiments.report import format_table
-from repro.experiments.runner import SimulationRunner
+from repro.experiments.runner import SimulationRunner, mean_stdev
 from repro.experiments.sweeps import (
     FRAME_SCALES,
     MTBE_LADDER_QUALITY,
     seed_list,
 )
+from repro.quality.metrics import QUALITY_CAP_DB
 
 
 @dataclass(frozen=True)
@@ -36,15 +38,29 @@ def run_app(
     frame_scales: tuple[int, ...] = (1,),
     ladder: tuple[int, ...] = MTBE_LADDER_QUALITY,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[QualityPoint]:
-    runner = runner or SimulationRunner(scale=scale)
+    """Quality per (frame scale, MTBE), one engine fan-out for the grid."""
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    seeds = seed_list(n_seeds)
+    grid = [
+        (frame_scale, mtbe) for frame_scale in frame_scales for mtbe in ladder
+    ]
+    records = runner.run_specs(
+        [
+            RunSpec(app=app_name, mtbe=mtbe, seed=seed, frame_scale=frame_scale)
+            for frame_scale, mtbe in grid
+            for seed in seeds
+        ]
+    )
     points = []
-    for frame_scale in frame_scales:
-        for mtbe in ladder:
-            mean, stdev = runner.quality_stats(
-                app_name, mtbe, seed_list(n_seeds), frame_scale=frame_scale
-            )
-            points.append(QualityPoint(mtbe, frame_scale, mean, stdev))
+    for index, (frame_scale, mtbe) in enumerate(grid):
+        chunk = records[index * n_seeds : (index + 1) * n_seeds]
+        mean, stdev = mean_stdev(
+            [min(record.quality_db, QUALITY_CAP_DB) for record in chunk]
+        )
+        points.append(QualityPoint(mtbe, frame_scale, mean, stdev))
     return points
 
 
@@ -54,8 +70,10 @@ def run(
     ladder: tuple[int, ...] = MTBE_LADDER_QUALITY,
     mp3_frame_scales: tuple[int, ...] = FRAME_SCALES,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, list[QualityPoint]]:
-    runner = runner or SimulationRunner(scale=scale)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     return {
         "jpeg": run_app("jpeg", n_seeds=n_seeds, ladder=ladder, runner=runner),
         "mp3": run_app(
@@ -82,8 +100,10 @@ def _series_table(points: list[QualityPoint]) -> str:
     return format_table(headers, rows)
 
 
-def main(scale: float = 1.0, n_seeds: int = 3) -> str:
-    runner = SimulationRunner(scale=scale)
+def main(
+    scale: float = 1.0, n_seeds: int = 3, jobs: int | None = None, cache=None
+) -> str:
+    runner = ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     results = run(n_seeds=n_seeds, runner=runner)
     jpeg_base = runner.app("jpeg").baseline_quality()
     mp3_base = runner.app("mp3").baseline_quality()

@@ -9,6 +9,7 @@ sweeps the 2x/4x/8x frame sizes, as in the paper's Fig. 11c.
 from __future__ import annotations
 
 from repro.experiments.fig10_quality import QualityPoint, run_app
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.plotting import quality_chart
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
@@ -23,8 +24,10 @@ def run(
     ladder: tuple[int, ...] = MTBE_LADDER_QUALITY,
     fir_frame_scales: tuple[int, ...] = FRAME_SCALES,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, list[QualityPoint]]:
-    runner = runner or SimulationRunner(scale=scale)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     results = {}
     for app in APPS:
         frame_scales = fir_frame_scales if app == "complex-fir" else (1,)
@@ -38,8 +41,10 @@ def run(
     return results
 
 
-def main(scale: float = 1.0, n_seeds: int = 3) -> str:
-    results = run(scale=scale, n_seeds=n_seeds)
+def main(
+    scale: float = 1.0, n_seeds: int = 3, jobs: int | None = None, cache=None
+) -> str:
+    results = run(scale=scale, n_seeds=n_seeds, jobs=jobs, cache=cache)
     sections = []
     for app, points in results.items():
         scales = sorted({p.frame_scale for p in points})

@@ -10,6 +10,7 @@ are a single item).
 from __future__ import annotations
 
 from repro.apps.registry import APP_ORDER
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.machine.protection import ProtectionLevel
@@ -19,15 +20,21 @@ def run(
     scale: float = 1.0,
     apps: tuple[str, ...] = APP_ORDER,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, tuple[float, float]]:
     """Returns {app: (header load ratio, header store ratio)} + "GMean"."""
-    runner = runner or SimulationRunner(scale=scale)
-    results: dict[str, tuple[float, float]] = {}
-    for app in apps:
-        record = runner.record(
-            app, protection=ProtectionLevel.COMMGUARD, mtbe=None, seed=0
-        )
-        results[app] = (record.header_load_ratio, record.header_store_ratio)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    records = runner.run_specs(
+        [
+            RunSpec(app=app, protection=ProtectionLevel.COMMGUARD, mtbe=None)
+            for app in apps
+        ]
+    )
+    results: dict[str, tuple[float, float]] = {
+        app: (record.header_load_ratio, record.header_store_ratio)
+        for app, record in zip(apps, records)
+    }
     results["GMean"] = (
         geometric_mean([v[0] for v in results.values()]),
         geometric_mean([v[1] for v in results.values()]),
@@ -35,8 +42,8 @@ def run(
     return results
 
 
-def main(scale: float = 1.0) -> str:
-    results = run(scale=scale)
+def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
+    results = run(scale=scale, jobs=jobs, cache=cache)
     rows = [
         [app, 100.0 * loads, 100.0 * stores]
         for app, (loads, stores) in results.items()

@@ -12,6 +12,7 @@ with larger frames.
 from __future__ import annotations
 
 from repro.apps.registry import APP_ORDER
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.experiments.sweeps import FRAME_SCALES
@@ -23,25 +24,32 @@ def run(
     apps: tuple[str, ...] = APP_ORDER,
     frame_scales: tuple[int, ...] = FRAME_SCALES,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, dict[int, float]]:
     """Returns {app: {frame_scale: overhead fraction}} + "GMean"."""
-    runner = runner or SimulationRunner(scale=scale)
-    results: dict[str, dict[int, float]] = {}
-    for app in apps:
-        baseline = runner.record(
-            app, protection=ProtectionLevel.ERROR_FREE, seed=0
-        ).execution_time
-        series = {}
-        for frame_scale in frame_scales:
-            guarded = runner.record(
-                app,
-                protection=ProtectionLevel.COMMGUARD,
-                mtbe=None,
-                seed=0,
-                frame_scale=frame_scale,
-            ).execution_time
-            series[frame_scale] = (guarded - baseline) / baseline
-        results[app] = series
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    baseline_specs = [
+        RunSpec(app=app, protection=ProtectionLevel.ERROR_FREE) for app in apps
+    ]
+    guarded_grid = [(app, fs) for app in apps for fs in frame_scales]
+    guarded_specs = [
+        RunSpec(
+            app=app,
+            protection=ProtectionLevel.COMMGUARD,
+            mtbe=None,
+            frame_scale=frame_scale,
+        )
+        for app, frame_scale in guarded_grid
+    ]
+    records = runner.run_specs(baseline_specs + guarded_specs)
+    baselines = {
+        app: record.execution_time for app, record in zip(apps, records[: len(apps)])
+    }
+    results: dict[str, dict[int, float]] = {app: {} for app in apps}
+    for (app, frame_scale), record in zip(guarded_grid, records[len(apps) :]):
+        baseline = baselines[app]
+        results[app][frame_scale] = (record.execution_time - baseline) / baseline
     results["GMean"] = {
         fs: geometric_mean([results[app][fs] for app in apps])
         for fs in frame_scales
@@ -49,8 +57,8 @@ def run(
     return results
 
 
-def main(scale: float = 1.0) -> str:
-    results = run(scale=scale)
+def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
+    results = run(scale=scale, jobs=jobs, cache=cache)
     frame_scales = sorted(next(iter(results.values())))
     headers = ["app"] + [f"{fs}x frames %" for fs in frame_scales]
     rows = [

@@ -10,6 +10,7 @@ header-bit checks the most frequent class.
 from __future__ import annotations
 
 from repro.apps.registry import APP_ORDER
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.machine.protection import ProtectionLevel
@@ -21,15 +22,20 @@ def run(
     scale: float = 1.0,
     apps: tuple[str, ...] = APP_ORDER,
     runner: SimulationRunner | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, dict[str, float]]:
     """Returns {app: {series: ratio}} + "GMean"."""
-    runner = runner or SimulationRunner(scale=scale)
-    results: dict[str, dict[str, float]] = {}
-    for app in apps:
-        record = runner.record(
-            app, protection=ProtectionLevel.COMMGUARD, mtbe=None, seed=0
-        )
-        results[app] = dict(record.subop_ratios)
+    runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
+    records = runner.run_specs(
+        [
+            RunSpec(app=app, protection=ProtectionLevel.COMMGUARD, mtbe=None)
+            for app in apps
+        ]
+    )
+    results: dict[str, dict[str, float]] = {
+        app: dict(record.subop_ratios) for app, record in zip(apps, records)
+    }
     results["GMean"] = {
         series: geometric_mean([results[app][series] for app in apps])
         for series in SERIES
@@ -37,8 +43,8 @@ def run(
     return results
 
 
-def main(scale: float = 1.0) -> str:
-    results = run(scale=scale)
+def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
+    results = run(scale=scale, jobs=jobs, cache=cache)
     headers = ["app"] + [f"{s} %" for s in SERIES]
     rows = [
         [app] + [100.0 * ratios[s] for s in SERIES]

@@ -1,0 +1,305 @@
+"""Parallel experiment execution engine.
+
+The paper's evaluation is a large cartesian sweep — benchmarks x protection
+levels x an MTBE ladder x seeds x frame scales — and per-spec seeding makes
+every point an independent, deterministic task.  This module fans those
+points out:
+
+* :class:`RunSpec` — a frozen, hashable description of one simulated run
+  (app, protection, MTBE, seed, frame scale, the CommGuard design knobs,
+  and optional error-model overrides) with a deterministic content key.
+* :class:`ParallelRunner` — a :class:`SimulationRunner` whose
+  :meth:`run_specs` dispatches specs over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
+  builds its apps once (the pool initializer installs a per-worker
+  :class:`SimulationRunner`, whose app cache amortizes codec encoding and
+  graph construction across every spec the worker receives).  ``jobs=1``
+  falls back to the exact in-process serial path, so results are
+  bit-identical at any worker count.
+* An optional on-disk :class:`~repro.experiments.cache.ResultCache` under
+  ``.repro_cache/``: re-running a figure, or resuming an interrupted
+  campaign, skips every already-completed point.
+
+Worker count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.config import CommGuardConfig
+from repro.experiments.cache import ResultCache, spec_key
+from repro.experiments.runner import (
+    RunRecord,
+    SimulationRunner,
+    mean_stdev,
+)
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.quality.metrics import QUALITY_CAP_DB
+
+ENV_JOBS = "REPRO_JOBS"
+
+_CONFIG_DEFAULTS = CommGuardConfig()
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """One point of an experiment sweep, frozen and content-addressable.
+
+    The first five fields are the paper's sweep axes.  The CommGuard design
+    knobs mirror :class:`~repro.core.config.CommGuardConfig`; the optional
+    ``p_*`` fields override the error model's masking/effect mix (the
+    ablation harness sweeps them) — all ``None`` means the calibrated
+    default model at ``mtbe``.
+
+    The app-build ``scale`` is deliberately *not* part of the spec: it is a
+    property of the runner executing it (and of the worker pool), and it is
+    mixed into the cache key separately.
+    """
+
+    app: str
+    protection: ProtectionLevel = ProtectionLevel.COMMGUARD
+    mtbe: float | None = None
+    seed: int = 0
+    frame_scale: int = 1
+    workset_units: int = _CONFIG_DEFAULTS.workset_units
+    pad_word: int = _CONFIG_DEFAULTS.pad_word
+    push_timeout: int = _CONFIG_DEFAULTS.push_timeout
+    pop_timeout: int = _CONFIG_DEFAULTS.pop_timeout
+    p_masked: float | None = None
+    p_data: float | None = None
+    p_control: float | None = None
+    p_address: float | None = None
+
+    def commguard_config(self) -> CommGuardConfig:
+        return CommGuardConfig(
+            frame_scale=self.frame_scale,
+            workset_units=self.workset_units,
+            pad_word=self.pad_word,
+            push_timeout=self.push_timeout,
+            pop_timeout=self.pop_timeout,
+        )
+
+    def error_model(self) -> ErrorModel | None:
+        """The custom error model, or ``None`` for the calibrated default."""
+        overrides = (self.p_masked, self.p_data, self.p_control, self.p_address)
+        if all(p is None for p in overrides):
+            return None
+        defaults = ErrorModel(mtbe=self.mtbe)
+        return ErrorModel(
+            mtbe=self.mtbe,
+            p_masked=defaults.p_masked if self.p_masked is None else self.p_masked,
+            p_data=defaults.p_data if self.p_data is None else self.p_data,
+            p_control=defaults.p_control if self.p_control is None else self.p_control,
+            p_address=(
+                defaults.p_address if self.p_address is None else self.p_address
+            ),
+        )
+
+    def content_key(self, scale: float = 1.0) -> str:
+        """Deterministic hash identifying this point at an app-build scale."""
+        return spec_key(self, scale)
+
+
+@dataclass
+class SweepStats:
+    """Progress and timing of one :meth:`ParallelRunner.run_specs` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cache_hits
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed}/{self.total} runs "
+            f"({self.cache_hits} cached) with {self.jobs} job(s) in "
+            f"{self.wall_seconds:.1f}s wall / {self.cpu_seconds:.1f}s cpu"
+        )
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        if env:
+            jobs = int(env)
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# -- worker-process plumbing ---------------------------------------------------
+#
+# Each pool worker holds one SimulationRunner; its app cache means every
+# benchmark is built at most once per worker regardless of how many specs
+# land there.
+
+_WORKER_RUNNER: SimulationRunner | None = None
+
+
+def _init_worker(scale: float) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = SimulationRunner(scale=scale)
+
+
+def _run_in_worker(index: int, spec: RunSpec) -> tuple[int, RunRecord, float]:
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    cpu_before = time.process_time()
+    record = _WORKER_RUNNER.execute_spec(spec)
+    return index, record, time.process_time() - cpu_before
+
+
+class ParallelRunner(SimulationRunner):
+    """A :class:`SimulationRunner` that fans sweeps out over processes.
+
+    ``jobs``
+        Default worker count for :meth:`run_specs` (``None`` resolves via
+        ``REPRO_JOBS`` / ``os.cpu_count()`` at call time).  ``1`` runs the
+        exact in-process serial path.
+    ``cache``
+        ``None``/``False`` (default) disables result caching; ``True``
+        caches under ``.repro_cache/`` (or ``REPRO_CACHE_DIR``); a path or
+        :class:`ResultCache` selects a root explicitly.
+    ``progress``
+        Optional ``callable(stats: SweepStats)`` invoked after every
+        completed run (cache hits included) — the CLI uses it for
+        progress lines.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        jobs: int | None = None,
+        cache: ResultCache | str | bool | None = None,
+        progress: Callable[[SweepStats], None] | None = None,
+    ) -> None:
+        super().__init__(scale=scale)
+        self.jobs = jobs
+        self.cache = ResultCache.coerce(cache)
+        self.progress = progress
+        self.last_stats: SweepStats | None = None
+
+    # -- sweep execution -------------------------------------------------------
+
+    def run_specs(
+        self, specs: Sequence[RunSpec], jobs: int | None = None
+    ) -> list[RunRecord]:
+        """Run every spec, in order, returning one record per spec.
+
+        Completed points found in the cache are not re-run.  The remainder
+        execute in-process (``jobs == 1``) or on a process pool whose
+        workers build apps once via the pool initializer.  Results are
+        bit-identical across worker counts because every run is seeded by
+        its spec alone.
+        """
+        specs = list(specs)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        stats = SweepStats(total=len(specs), jobs=jobs)
+        wall_before = time.perf_counter()
+        records: list[RunRecord | None] = [None] * len(specs)
+
+        pending: list[tuple[int, RunSpec, str | None]] = []
+        for index, spec in enumerate(specs):
+            key = spec.content_key(self.scale) if self.cache is not None else None
+            cached = self.cache.load(key) if key is not None else None
+            if cached is not None:
+                records[index] = cached
+                stats.cache_hits += 1
+                self._tick(stats, wall_before)
+            else:
+                pending.append((index, spec, key))
+
+        if pending:
+            if jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, records, stats, wall_before)
+            else:
+                self._run_pool(pending, records, stats, wall_before, jobs)
+
+        stats.wall_seconds = time.perf_counter() - wall_before
+        self.last_stats = stats
+        assert all(r is not None for r in records)
+        return records  # type: ignore[return-value]
+
+    def _run_serial(self, pending, records, stats, wall_before) -> None:
+        for index, spec, key in pending:
+            cpu_before = time.process_time()
+            record = self.execute_spec(spec)
+            stats.cpu_seconds += time.process_time() - cpu_before
+            self._finish(records, stats, wall_before, index, spec, key, record)
+
+    def _run_pool(self, pending, records, stats, wall_before, jobs) -> None:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(self.scale,)
+        ) as pool:
+            futures = {
+                pool.submit(_run_in_worker, index, spec): (index, spec, key)
+                for index, spec, key in pending
+            }
+            for future in as_completed(futures):
+                index, spec, key = futures[future]
+                got_index, record, cpu = future.result()
+                assert got_index == index
+                stats.cpu_seconds += cpu
+                self._finish(records, stats, wall_before, index, spec, key, record)
+
+    def _finish(self, records, stats, wall_before, index, spec, key, record) -> None:
+        records[index] = record
+        stats.executed += 1
+        if self.cache is not None and key is not None:
+            self.cache.store(key, spec, self.scale, record)
+        self._tick(stats, wall_before)
+
+    def _tick(self, stats: SweepStats, wall_before: float) -> None:
+        if self.progress is not None:
+            stats.wall_seconds = time.perf_counter() - wall_before
+            self.progress(stats)
+
+    # -- sweep-shaped conveniences ---------------------------------------------
+
+    def spec(self, app_name: str, **kwargs) -> RunSpec:
+        """Build a :class:`RunSpec` for this runner (thin sugar)."""
+        return RunSpec(app=app_name, **kwargs)
+
+    def quality_stats(
+        self,
+        app_name: str,
+        mtbe: float,
+        seeds: list[int],
+        protection: ProtectionLevel = ProtectionLevel.COMMGUARD,
+        frame_scale: int = 1,
+        quality_cap_db: float = QUALITY_CAP_DB,
+    ) -> tuple[float, float]:
+        """Mean/stdev quality over *seeds*, fanned out over the engine.
+
+        Matches :meth:`SimulationRunner.quality_stats` bit-for-bit: the
+        same records aggregated with the same arithmetic, in seed order.
+        """
+        specs = [
+            RunSpec(
+                app=app_name,
+                protection=protection,
+                mtbe=mtbe,
+                seed=seed,
+                frame_scale=frame_scale,
+            )
+            for seed in seeds
+        ]
+        records = self.run_specs(specs)
+        return mean_stdev([min(r.quality_db, quality_cap_db) for r in records])

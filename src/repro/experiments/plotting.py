@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+from repro.quality.metrics import QUALITY_CAP_DB
+
 #: Plot glyphs assigned to series in order.
 MARKERS = "ox+*#@%&"
 
@@ -79,7 +81,7 @@ def ascii_chart(
 def quality_chart(
     points_by_series: Mapping[str, Mapping[int, float]],
     y_label: str = "quality (dB)",
-    cap: float = 96.0,
+    cap: float = QUALITY_CAP_DB,
 ) -> str:
     """Chart quality-vs-MTBE series (the shape of Figs. 9-11)."""
     series = {

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+from repro.quality.metrics import QUALITY_CAP_DB
+
 
 def format_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]]
@@ -41,7 +43,7 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
-def db_or_errorfree(value: float, cap: float = 96.0) -> str:
+def db_or_errorfree(value: float, cap: float = QUALITY_CAP_DB) -> str:
     """Render a quality value, marking capped/error-free runs."""
     if math.isinf(value) or value >= cap:
         return "error-free"

@@ -3,19 +3,28 @@
 Caches built apps (codec encoding and graph construction are the expensive
 parts) and packages each run's measurements into a flat
 :class:`RunRecord` the figure harnesses aggregate.
+
+The runner executes either ad-hoc argument combinations (:meth:`execute`)
+or frozen :class:`~repro.experiments.parallel.RunSpec` descriptions
+(:meth:`execute_spec` / :meth:`run_specs`); the latter is the unit of work
+of the parallel sweep engine, which overrides :meth:`run_specs` to fan
+specs out over worker processes and an on-disk result cache.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.apps.base import BenchmarkApp
 from repro.apps.registry import build_app
 from repro.core.config import CommGuardConfig
+from repro.machine.errors import ErrorModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.runstats import RunResult
 from repro.machine.system import run_program
+from repro.quality.metrics import QUALITY_CAP_DB
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +64,11 @@ class SimulationRunner:
             self._apps[name] = build_app(name, scale=self.scale)
         return self._apps[name]
 
+    def adopt_app(self, app: BenchmarkApp) -> BenchmarkApp:
+        """Register a prebuilt app in the cache (its build scale must match
+        this runner's, or worker processes would rebuild it differently)."""
+        return self._apps.setdefault(app.name, app)
+
     def execute(
         self,
         app_name: str,
@@ -62,16 +76,19 @@ class SimulationRunner:
         mtbe: float | None = None,
         seed: int = 0,
         frame_scale: int = 1,
-    ) -> tuple[RunRecord, RunResult] :
+        commguard_config: CommGuardConfig | None = None,
+        error_model: ErrorModel | None = None,
+    ) -> tuple[RunRecord, RunResult]:
         """Run once; returns the flat record plus the raw result."""
         app = self.app(app_name)
-        config = CommGuardConfig(frame_scale=frame_scale)
+        config = commguard_config or CommGuardConfig(frame_scale=frame_scale)
         result = run_program(
             app.program,
             protection,
             mtbe=mtbe,
             seed=seed,
             commguard_config=config,
+            error_model=error_model,
         )
         quality = app.quality(result)
         stats = result.commguard_stats()
@@ -81,7 +98,7 @@ class SimulationRunner:
             protection=protection,
             mtbe=None if protection is ProtectionLevel.ERROR_FREE else mtbe,
             seed=seed,
-            frame_scale=frame_scale,
+            frame_scale=config.frame_scale,
             quality_db=quality,
             data_loss_ratio=result.data_loss_ratio(),
             pad_events=stats.pad_events,
@@ -102,6 +119,29 @@ class SimulationRunner:
     def record(self, *args, **kwargs) -> RunRecord:
         return self.execute(*args, **kwargs)[0]
 
+    def execute_spec(self, spec) -> RunRecord:
+        """Run one frozen :class:`~repro.experiments.parallel.RunSpec`."""
+        record, _ = self.execute(
+            spec.app,
+            spec.protection,
+            mtbe=spec.mtbe,
+            seed=spec.seed,
+            frame_scale=spec.frame_scale,
+            commguard_config=spec.commguard_config(),
+            error_model=spec.error_model(),
+        )
+        return record
+
+    def run_specs(self, specs: Sequence, jobs: int | None = None) -> list[RunRecord]:
+        """Run specs in order, serially and in-process.
+
+        :class:`~repro.experiments.parallel.ParallelRunner` overrides this
+        with process fan-out and result caching; the base implementation is
+        the exact single-process path (``jobs`` is accepted and ignored so
+        harnesses can thread it through uniformly).
+        """
+        return [self.execute_spec(spec) for spec in specs]
+
     def quality_stats(
         self,
         app_name: str,
@@ -109,7 +149,7 @@ class SimulationRunner:
         seeds: list[int],
         protection: ProtectionLevel = ProtectionLevel.COMMGUARD,
         frame_scale: int = 1,
-        quality_cap_db: float = 96.0,
+        quality_cap_db: float = QUALITY_CAP_DB,
     ) -> tuple[float, float]:
         """Mean and standard deviation of quality over *seeds* (dB).
 
@@ -117,20 +157,28 @@ class SimulationRunner:
         error-free output exactly (quality = inf); they are capped at
         ``quality_cap_db``, the conventional "error-free" ceiling.
         """
-        values = []
-        for seed in seeds:
-            record = self.record(
+        records = [
+            self.record(
                 app_name, protection, mtbe=mtbe, seed=seed, frame_scale=frame_scale
             )
-            values.append(min(record.quality_db, quality_cap_db))
-        n = len(values)
-        mean = sum(values) / n
-        variance = sum((v - mean) ** 2 for v in values) / n
-        return mean, math.sqrt(variance)
+            for seed in seeds
+        ]
+        return mean_stdev([min(r.quality_db, quality_cap_db) for r in records])
 
 
-def geometric_mean(values: list[float]) -> float:
+def mean_stdev(values: Sequence[float]) -> tuple[float, float]:
+    """Population mean and standard deviation of a non-empty sequence."""
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(variance)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean, tolerating zeros by epsilon-flooring (as overhead
-    figures conventionally do)."""
+    figures conventionally do).  An empty input has no mean: returns
+    ``nan`` rather than raising, so partial sweeps render as blanks."""
     floored = [max(v, 1e-12) for v in values]
+    if not floored:
+        return math.nan
     return math.exp(sum(math.log(v) for v in floored) / len(floored))

@@ -9,9 +9,10 @@ output (for the other four benchmarks, whose error-free SNR is infinity).
 
 from repro.quality.audio import multitone_signal, speech_like_signal
 from repro.quality.images import synthetic_image, write_pgm, write_ppm
-from repro.quality.metrics import align_lengths, psnr_db, snr_db
+from repro.quality.metrics import QUALITY_CAP_DB, align_lengths, psnr_db, snr_db
 
 __all__ = [
+    "QUALITY_CAP_DB",
     "align_lengths",
     "multitone_signal",
     "psnr_db",

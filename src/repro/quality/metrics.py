@@ -7,6 +7,12 @@ from typing import Sequence
 
 import numpy as np
 
+#: Conventional "error-free" quality ceiling in dB (Section 6).  Runs in
+#: which no unmasked error reached live state reproduce the error-free
+#: output exactly (SNR = inf); figures cap them at this value, the dynamic
+#: range of 16-bit audio.
+QUALITY_CAP_DB = 96.0
+
 
 def align_lengths(
     reference: Sequence[float] | np.ndarray,

@@ -10,6 +10,7 @@ from repro.experiments.campaign import (
     compare_protections,
     run_campaign,
 )
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import SimulationRunner
 from repro.machine.protection import ProtectionLevel
 
@@ -41,6 +42,19 @@ class TestClassification:
     def test_boundaries(self):
         assert classify_outcome(25.0, 30.0, False, T) is Outcome.TOLERABLE
         assert classify_outcome(5.0, 30.0, False, T) is Outcome.CATASTROPHIC
+
+    def test_hung_beats_perfect_quality(self):
+        # A hung run is catastrophic no matter what the quality metric says.
+        assert (
+            classify_outcome(float("inf"), 30.0, hung=True, thresholds=T)
+            is Outcome.CATASTROPHIC
+        )
+
+    def test_just_above_catastrophic_floor(self):
+        assert classify_outcome(5.001, 30.0, False, T) is Outcome.DEGRADED
+
+    def test_quality_above_baseline_is_error_free(self):
+        assert classify_outcome(35.0, 30.0, False, T) is Outcome.ERROR_FREE
 
 
 class TestCampaignResult:
@@ -85,6 +99,56 @@ class TestCampaignRuns:
         }
         for campaign in results.values():
             assert campaign.n_runs == 3
+
+    def test_campaign_honours_frame_scale(self, runner):
+        result = run_campaign(
+            "fft",
+            ProtectionLevel.COMMGUARD,
+            mtbe=100_000,
+            n_runs=2,
+            frame_scale=4,
+            runner=runner,
+        )
+        assert result.n_runs == 2
+
+    def test_campaign_spec_carries_design_knobs(self, runner):
+        spec = RunSpec(app="fft", workset_units=16)
+        result = run_campaign(
+            "fft",
+            ProtectionLevel.COMMGUARD,
+            mtbe=100_000,
+            n_runs=2,
+            spec=spec,
+            runner=runner,
+        )
+        assert result.n_runs == 2
+
+    def test_campaign_through_parallel_engine_matches_serial(self):
+        serial = run_campaign(
+            "fft",
+            ProtectionLevel.COMMGUARD,
+            mtbe=100_000,
+            n_runs=3,
+            runner=ParallelRunner(scale=0.1, jobs=1),
+        )
+        fanned = run_campaign(
+            "fft",
+            ProtectionLevel.COMMGUARD,
+            mtbe=100_000,
+            n_runs=3,
+            runner=ParallelRunner(scale=0.1, jobs=2),
+        )
+        assert serial.counts == fanned.counts
+        assert serial.qualities == fanned.qualities
+
+    def test_prebuilt_app_shares_runner_cache(self):
+        engine = ParallelRunner(scale=0.1, jobs=1)
+        app = engine.app("fft")
+        result = run_campaign(
+            app, ProtectionLevel.COMMGUARD, mtbe=1e9, n_runs=2, runner=engine
+        )
+        assert result.app == "fft"
+        assert engine.app("fft") is app
 
     def test_commguard_acceptable_fraction_dominates(self):
         """At a high error rate on jpeg, CommGuard's acceptable fraction

@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.experiments.report import db_or_errorfree, format_table
-from repro.experiments.runner import RunRecord, SimulationRunner, geometric_mean
+from repro.experiments.runner import (
+    RunRecord,
+    SimulationRunner,
+    geometric_mean,
+    mean_stdev,
+)
 from repro.machine.protection import ProtectionLevel
 
 SCALE = 0.05
@@ -60,6 +65,17 @@ class TestHelpers:
 
     def test_geometric_mean_tolerates_zero(self):
         assert geometric_mean([0.0, 1.0]) > 0
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_mean_stdev(self):
+        mean, stdev = mean_stdev([2.0, 4.0])
+        assert mean == 3.0
+        assert stdev == 1.0
+
+    def test_mean_stdev_single_value(self):
+        assert mean_stdev([7.0]) == (7.0, 0.0)
 
     def test_format_table_alignment(self):
         text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])

@@ -68,11 +68,37 @@ class TestCommands:
 
     def test_sweep(self, capsys):
         code = main(
-            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1", "--scale", "0.05"]
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1", "--scale", "0.05",
+             "--no-cache", "--jobs", "1"]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "100k" in out
+        assert "[sweep]" in out  # engine stats line
+
+    def test_sweep_populates_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["sweep", "fft", "--mtbe", "100k", "--seeds", "1",
+                "--scale", "0.05", "--jobs", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(1 cached)" in second
+        # cached rerun prints the identical table
+        assert first.splitlines()[:3] == second.splitlines()[:3]
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "info", "--dir", cache_dir]) == 0
+        assert "0 cached" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_figure_accepts_engine_options(self):
+        args = build_parser().parse_args(["figure", "fig10", "--jobs", "4"])
+        assert args.jobs == 4
+        assert not args.no_cache
 
     def test_figure_tables(self, capsys):
         assert main(["figure", "tables"]) == 0

@@ -1,5 +1,6 @@
 """Public-API surface and example-script smoke tests."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,6 +8,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
 class TestPublicApi:
@@ -56,12 +58,16 @@ class TestExampleScripts:
         "script", ["custom_app_guarded.py", "tagged_mapreduce.py"]
     )
     def test_example_runs(self, script, tmp_path):
+        pythonpath = os.pathsep.join(
+            p for p in (str(SRC), os.environ.get("PYTHONPATH")) if p
+        )
         result = subprocess.run(
             [sys.executable, str(EXAMPLES / script)],
             capture_output=True,
             text=True,
             timeout=300,
             cwd=tmp_path,
+            env={**os.environ, "PYTHONPATH": pythonpath},
         )
         assert result.returncode == 0, result.stderr
         assert result.stdout.strip()
