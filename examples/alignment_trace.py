@@ -1,41 +1,62 @@
 #!/usr/bin/env python3
 """Post-mortem a guarded run: trace CommGuard's realignment decisions.
 
-Runs the mp3 decoder at a high error rate with a trace recorder attached to
-every Alignment Manager, then prints which frames were realigned and the
-event log — the programmatic equivalent of the paper's Fig. 7 annotations.
+Runs the mp3 decoder at a high error rate with structured-event tracing
+enabled (``trace=True`` collects events in memory), then prints which
+frames were realigned and the event log — the programmatic equivalent of
+the paper's Fig. 7 annotations.
 """
 
-from repro import ProtectionLevel
-from repro.apps import build_app
-from repro.core.trace import TraceKind, attach_tracer
+from collections import Counter
+
+from repro.api import run
 from repro.machine.errors import ErrorModel
-from repro.machine.system import MulticoreSystem
+from repro.observability.events import AlignmentAction, ErrorInjected
 
 
 def main() -> None:
-    app = build_app("mp3", scale=0.4)
-    model = ErrorModel(mtbe=150_000, p_masked=0.5)
-    system = MulticoreSystem.build(
-        app.program, ProtectionLevel.COMMGUARD, error_model=model, seed=4
+    report = run(
+        "mp3",
+        "commguard",
+        mtbe=150_000,
+        seed=4,
+        scale=0.4,
+        error_model=ErrorModel(mtbe=150_000, p_masked=0.5),
+        trace=True,
     )
-    recorder = attach_tracer(system)
-    result = system.run()
 
-    print(f"SNR: {app.quality(result):.1f} dB "
-          f"(baseline {app.baseline_quality():.1f} dB), "
-          f"{result.errors_injected} errors injected\n")
-    realigned = sorted(recorder.frames_realigned())
-    print(f"frames with realignment activity: {realigned or 'none'}")
-    pads = sum(1 for e in recorder.events if e.kind is TraceKind.PAD)
-    discards = sum(
-        1
-        for e in recorder.events
-        if e.kind in (TraceKind.DISCARD_ITEM, TraceKind.DISCARD_HEADER)
+    print(
+        f"SNR: {report.quality_db:.1f} dB "
+        f"(baseline {report.baseline_quality_db():.1f} dB), "
+        f"{report.result.errors_injected} errors injected\n"
     )
+
+    actions = [e for e in report.events if isinstance(e, AlignmentAction)]
+    realigned = sorted({e.active_fc for e in actions})
+    print(f"frames with realignment activity: {realigned or 'none'}")
+    by_action = Counter(e.action for e in actions)
+    pads = by_action["pad"]
+    discards = by_action["discard-item"] + by_action["discard-header"]
     print(f"{pads} pads, {discards} discards\n")
-    print("event log (first 25):")
-    print(recorder.render(limit=25))
+
+    print("event log (first 25 realignment/error events):")
+    shown = 0
+    for event in report.events:
+        if not isinstance(event, (AlignmentAction, ErrorInjected)):
+            continue
+        if isinstance(event, AlignmentAction):
+            print(
+                f"  fc={event.active_fc:<4} {event.thread}/q{event.qid} "
+                f"{event.action}: {event.reason}"
+            )
+        elif not event.masked:
+            print(
+                f"  core {event.core} {event.effect} error "
+                f"@ instruction {event.at_instruction}"
+            )
+        shown += 1
+        if shown >= 25:
+            break
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ This example decodes the same audio clip at one error rate under frame
 scales 1x/2x/4x/8x and prints SNR and realignment counts for each.
 """
 
-from repro import CommGuardConfig, ProtectionLevel, run_program
+from repro import CommGuardConfig
+from repro.api import run
 from repro.apps.mp3 import build_mp3_app
 
 
@@ -16,17 +17,16 @@ def main() -> None:
     print(f"error-free baseline SNR: {app.baseline_quality():.1f} dB")
     print(f"{'frame scale':>12} {'SNR':>10} {'pads':>6} {'discards':>9} {'headers':>8}")
     for frame_scale in (1, 2, 4, 8):
-        config = CommGuardConfig(frame_scale=frame_scale)
-        result = run_program(
-            app.program,
-            ProtectionLevel.COMMGUARD,
+        report = run(
+            app,
+            "commguard",
             mtbe=192_000,
             seed=3,
-            commguard_config=config,
+            config=CommGuardConfig(frame_scale=frame_scale),
         )
-        stats = result.commguard_stats()
+        stats = report.result.commguard_stats()
         print(
-            f"{frame_scale:>11}x {app.quality(result):9.2f} {stats.pads:6d} "
+            f"{frame_scale:>11}x {report.quality_db:9.2f} {stats.pads:6d} "
             f"{stats.discarded_items:9d} {stats.header_stores:8d}"
         )
 

@@ -12,34 +12,25 @@ Usage:  python examples/protection_comparison.py [app] [mtbe]
 
 import sys
 
-from repro import ProtectionLevel, run_program
-from repro.apps import build_app
-from repro.cli import _parse_mtbe
+from repro import ProtectionLevel
+from repro.api import parse_mtbe, resolve_app, run
 from repro.quality.metrics import QUALITY_CAP_DB
-
-LEVELS = (
-    ProtectionLevel.ERROR_FREE,
-    ProtectionLevel.PPU_ONLY,
-    ProtectionLevel.PPU_RELIABLE_QUEUE,
-    ProtectionLevel.COMMGUARD,
-)
 
 
 def main(app_name: str = "jpeg", mtbe: float = 500_000, seeds: int = 3) -> None:
-    app = build_app(app_name, scale=1.0)
+    app = resolve_app(app_name, scale=1.0)
     metric = app.metric.upper()
     print(f"{app_name} at MTBE {mtbe / 1000:.0f}k instructions/core:")
-    for level in LEVELS:
+    for level in ProtectionLevel:
         qualities = []
         n = 1 if level is ProtectionLevel.ERROR_FREE else seeds
         for seed in range(n):
-            result = run_program(app.program, level, mtbe=mtbe, seed=seed)
-            qualities.append(min(app.quality(result), QUALITY_CAP_DB))
+            report = run(app, level, mtbe=mtbe, seed=seed)
+            qualities.append(min(report.quality_db, QUALITY_CAP_DB))
         mean = sum(qualities) / len(qualities)
         print(f"  {level.value:22s} {metric} {mean:6.1f} dB")
 
 
 if __name__ == "__main__":
     name = sys.argv[1] if len(sys.argv) > 1 else "jpeg"
-    mtbe = _parse_mtbe(sys.argv[2]) if len(sys.argv) > 2 else 500_000
-    main(name, mtbe)
+    main(name, parse_mtbe(sys.argv[2]) if len(sys.argv) > 2 else 500_000)

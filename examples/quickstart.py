@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: build a stream program, run it on error-prone cores, guard it.
 
-Builds a small pipeline, runs it (1) error-free, (2) on error-prone PPU
-cores with plain queues, and (3) with CommGuard, then prints output quality
-and CommGuard's realignment statistics.
+Builds a small pipeline, wraps it as a benchmark app, then runs it through
+:func:`repro.run` (1) on error-prone PPU cores with plain queues and
+(2) with CommGuard, printing output quality and CommGuard's realignment
+statistics.
 """
 
-import numpy as np
-
-from repro import ProtectionLevel, StreamProgram, run_program, snr_db
+from repro import StreamProgram, run
+from repro.apps.base import BenchmarkApp, clipped_float_decoder
 from repro.apps.dsp import FirFilter, Gain, lowpass_taps
 from repro.quality.audio import multitone_signal
 from repro.streamit import FloatSink, FloatSource, pipeline
@@ -28,41 +28,27 @@ def main() -> None:
     program = StreamProgram.compile(graph)
     print(f"compiled: {program.graph}, {program.n_frames} frames")
 
-    # 2. Error-free reference run.
-    reference = run_program(program, ProtectionLevel.ERROR_FREE)
-    ref_signal = np.array(
-        [np.float32(0)] * 0
-        + [v for v in map(float, _floats(reference.outputs["sink"]))]
+    # 2. Package it as an app: quality is SNR against the error-free run.
+    app = BenchmarkApp(
+        name="quickstart",
+        program=program,
+        sink_name="sink",
+        decode_output=clipped_float_decoder(4.0),
     )
 
     # 3. Error-prone run without CommGuard (MTBE = 256k instructions/core).
-    unprotected = run_program(
-        program, ProtectionLevel.PPU_RELIABLE_QUEUE, mtbe=256_000, seed=1
-    )
-    print(
-        "unprotected SNR: "
-        f"{snr_db(ref_signal, _floats(unprotected.outputs['sink'])):.1f} dB"
-    )
+    unprotected = run(app, "ppu-reliable-queue", mtbe=256_000, seed=1)
+    print(f"unprotected SNR: {unprotected.quality_db:.1f} dB")
 
     # 4. Same error process, with CommGuard.
-    guarded = run_program(
-        program, ProtectionLevel.COMMGUARD, mtbe=256_000, seed=1
-    )
-    stats = guarded.commguard_stats()
-    print(
-        f"guarded SNR: {snr_db(ref_signal, _floats(guarded.outputs['sink'])):.1f} dB"
-    )
+    guarded = run(app, "commguard", mtbe=256_000, seed=1)
+    stats = guarded.result.commguard_stats()
+    print(f"guarded SNR: {guarded.quality_db:.1f} dB")
     print(
         f"CommGuard: {stats.pads} padded, {stats.discarded_items} discarded, "
-        f"{guarded.errors_injected} errors injected, "
-        f"data loss {guarded.data_loss_ratio():.5f}"
+        f"{guarded.result.errors_injected} errors injected, "
+        f"data loss {guarded.data_loss_ratio:.5f}"
     )
-
-
-def _floats(words):
-    from repro.words import word_to_float
-
-    return np.clip([word_to_float(w) for w in words], -4.0, 4.0)
 
 
 if __name__ == "__main__":

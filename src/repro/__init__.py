@@ -15,16 +15,19 @@ Public layers:
 * :mod:`repro.quality` — SNR/PSNR metrics and synthetic media inputs.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
 
+* :mod:`repro.observability` — structured event tracing and labelled
+  metrics for every run.
+* :mod:`repro.api` — the one-call front door composing all of the above.
+
 Quick start::
 
-    from repro import ProtectionLevel, run_program
-    from repro.apps import build_fft_app
+    from repro import run
 
-    app = build_fft_app(n_frames=32)
-    result = run_program(app.program, ProtectionLevel.COMMGUARD, mtbe=512_000)
-    print(result.data_loss_ratio())
+    report = run("fft", "commguard", mtbe=512_000)
+    print(report.quality_db, report.record.data_loss_ratio)
 """
 
+from repro.api import RunReport, run
 from repro.core import CommGuard, CommGuardConfig
 from repro.machine import (
     ErrorModel,
@@ -45,11 +48,13 @@ __all__ = [
     "ErrorModel",
     "MulticoreSystem",
     "ProtectionLevel",
+    "RunReport",
     "RunResult",
     "StreamGraph",
     "StreamProgram",
     "SystemConfig",
     "psnr_db",
+    "run",
     "run_program",
     "snr_db",
     "__version__",

@@ -1,0 +1,212 @@
+"""One-call public API: :func:`run` a benchmark, get a :class:`RunReport`.
+
+Historically every entry point (CLI, figure harnesses, examples) composed
+the same plumbing by hand: build the app, parse a protection level, pick a
+:class:`~repro.core.config.CommGuardConfig`, call
+:func:`~repro.machine.system.run_program`, then re-derive quality numbers.
+This module is the single front door over that stack::
+
+    import repro.api as api
+
+    report = api.run("jpeg", "commguard", mtbe=512_000, seed=1)
+    print(report.quality_db, report.record.data_loss_ratio)
+
+Inputs are forgiving: *app* is a registry name or a prebuilt
+:class:`~repro.apps.base.BenchmarkApp`; *protection* is a
+:class:`~repro.machine.protection.ProtectionLevel` or any spelling its
+:meth:`~repro.machine.protection.ProtectionLevel.parse` accepts; *trace*
+is anything :func:`~repro.observability.coerce_tracer` understands
+(``True`` collects events in memory, a path streams JSONL there, a ready
+tracer passes through).
+
+The shared parsing helpers (:func:`resolve_app`, :func:`parse_mtbe`) live
+here too, so the CLI and the examples agree on accepted spellings and
+error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.apps.base import BenchmarkApp
+from repro.apps.registry import APP_BUILDERS, build_app
+from repro.core.config import CommGuardConfig
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import RunRecord, SimulationRunner
+from repro.machine.errors import ErrorModel
+from repro.machine.protection import ProtectionLevel
+from repro.machine.runstats import RunResult
+from repro.observability.tracer import InMemoryTracer, JsonlTracer, coerce_tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.events import TraceEvent
+    from repro.observability.tracer import Tracer
+
+
+def resolve_app(app: str | BenchmarkApp, scale: float = 1.0) -> BenchmarkApp:
+    """Normalize an app argument: a registry name or a prebuilt app.
+
+    Raises ``ValueError`` listing the valid names for unknown strings.
+    """
+    if isinstance(app, BenchmarkApp):
+        return app
+    if app not in APP_BUILDERS:
+        raise ValueError(
+            f"unknown app {app!r}; valid choices: {', '.join(sorted(APP_BUILDERS))}"
+        )
+    return build_app(app, scale=scale)
+
+
+def parse_mtbe(text: str | float | int | None) -> float | None:
+    """Parse an MTBE argument: plain numbers or ``k``/``M`` suffixes.
+
+    ``"512k"`` -> 512000.0, ``"1M"`` -> 1000000.0, ``64000`` -> 64000.0;
+    ``None`` passes through (error-free).  Raises ``ValueError`` for
+    non-positive or unparsable values.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        cleaned = text.strip().lower()
+        factor = 1.0
+        if cleaned.endswith("k"):
+            factor, cleaned = 1e3, cleaned[:-1]
+        elif cleaned.endswith("m"):
+            factor, cleaned = 1e6, cleaned[:-1]
+        try:
+            value = float(cleaned) * factor
+        except ValueError:
+            raise ValueError(
+                f"unparsable MTBE {text!r}; use a number or k/M suffix "
+                "(e.g. 512k, 1M, 64000)"
+            ) from None
+    if value <= 0:
+        raise ValueError("MTBE must be positive")
+    return value
+
+
+@dataclass
+class RunReport:
+    """Everything one simulated run produced, in one object.
+
+    ``spec`` is the frozen description of the point, ``record`` the flat
+    measurements (quality, loss, overhead ratios), ``result`` the raw
+    machine outcome (per-thread counters, outputs, metrics registry).
+    """
+
+    spec: RunSpec
+    record: RunRecord
+    result: RunResult
+    app: BenchmarkApp
+    #: Where the JSONL trace was written, when *trace* was a path.
+    trace_path: Path | None = None
+    #: Collected events, when *trace* was ``True`` (in-memory tracing).
+    events: "list[TraceEvent] | None" = field(default=None, repr=False)
+
+    # -- convenience views ---------------------------------------------------
+
+    @property
+    def quality_db(self) -> float:
+        """Run quality vs the app's reference (SNR or PSNR, dB)."""
+        return self.record.quality_db
+
+    @property
+    def data_loss_ratio(self) -> float:
+        return self.record.data_loss_ratio
+
+    @property
+    def hung(self) -> bool:
+        return self.record.hung
+
+    def baseline_quality_db(self) -> float:
+        """Error-free quality of the app (computed lazily; cached on the
+        app, so repeated reports for one app pay it once)."""
+        return self.app.baseline_quality()
+
+
+#: Per-scale runner cache: amortizes app builds (codec encoding, graph
+#: construction) across repeated :func:`run` calls in one process.
+_RUNNERS: dict[float, SimulationRunner] = {}
+
+
+def _runner_for(scale: float) -> SimulationRunner:
+    if scale not in _RUNNERS:
+        _RUNNERS[scale] = SimulationRunner(scale=scale)
+    return _RUNNERS[scale]
+
+
+def run(
+    app: str | BenchmarkApp,
+    protection: ProtectionLevel | str = ProtectionLevel.COMMGUARD,
+    *,
+    mtbe: float | str | None = None,
+    seed: int = 0,
+    config: CommGuardConfig | None = None,
+    trace: "Tracer | str | Path | bool | None" = None,
+    frame_scale: int = 1,
+    scale: float = 1.0,
+    error_model: ErrorModel | None = None,
+) -> RunReport:
+    """Run one benchmark once and return a :class:`RunReport`.
+
+    ``config`` supplies the CommGuard design knobs (``frame_scale`` is a
+    shorthand used only when ``config`` is omitted); ``scale`` is the
+    app-build input scale; ``error_model`` overrides the calibrated
+    masking/effect mix.  See the module docstring for the accepted *app*,
+    *protection* and *trace* spellings.
+    """
+    bench = resolve_app(app, scale=scale)
+    level = (
+        protection
+        if isinstance(protection, ProtectionLevel)
+        else ProtectionLevel.parse(protection)
+    )
+    if config is None:
+        config = CommGuardConfig(frame_scale=frame_scale)
+    elif frame_scale != 1 and config.frame_scale != frame_scale:
+        raise ValueError(
+            f"conflicting frame scales: config.frame_scale={config.frame_scale} "
+            f"vs frame_scale={frame_scale}"
+        )
+    rate = parse_mtbe(mtbe)
+    tracer, owned = coerce_tracer(trace)
+
+    spec = RunSpec(
+        app=bench.name,
+        protection=level,
+        mtbe=None if level is ProtectionLevel.ERROR_FREE else rate,
+        seed=seed,
+        frame_scale=config.frame_scale,
+        workset_units=config.workset_units,
+        pad_word=config.pad_word,
+        push_timeout=config.push_timeout,
+        pop_timeout=config.pop_timeout,
+        trace=str(owned.path) if owned is not None and owned.path else None,
+    )
+    runner = _runner_for(scale)
+    runner.adopt_app(bench)
+    try:
+        record, result = runner._execute(
+            bench.name,
+            level,
+            mtbe=rate,
+            seed=seed,
+            commguard_config=config,
+            error_model=error_model,
+            tracer=tracer,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
+    return RunReport(
+        spec=spec,
+        record=record,
+        result=result,
+        app=runner.app(bench.name),
+        trace_path=owned.path if isinstance(owned, JsonlTracer) else None,
+        events=list(tracer.events) if isinstance(tracer, InMemoryTracer) else None,
+    )

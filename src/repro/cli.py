@@ -3,9 +3,12 @@
 Commands:
 
 * ``list`` — the six benchmarks and the reproducible figures/tables.
-* ``run`` — run one benchmark under a protection level and error rate.
+* ``run`` — run one benchmark under a protection level and error rate
+  (``--trace PATH`` streams the run's structured events as JSONL).
 * ``figure`` — regenerate one of the paper's figures/tables.
-* ``sweep`` — MTBE sweep of one benchmark (quality + loss per point).
+* ``sweep`` — MTBE sweep of one benchmark (quality + loss per point;
+  ``--trace-dir DIR`` ships one JSONL trace per executed run).
+* ``trace`` — summarize or tail a JSONL trace file.
 * ``cache`` — inspect or clear the on-disk result cache.
 
 ``figure`` and ``sweep`` execute through the parallel sweep engine:
@@ -20,16 +23,17 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 
-from repro.apps.registry import APP_ORDER, build_app
-from repro.core.config import CommGuardConfig
+from repro import api
+from repro.apps.registry import APP_ORDER
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.machine.protection import ProtectionLevel
-from repro.machine.system import run_program
+from repro.observability.tracer import read_trace, summarize_trace
 from repro.quality.metrics import QUALITY_CAP_DB
 
 FIGURES = {
@@ -47,26 +51,17 @@ FIGURES = {
     "campaign": ("repro.experiments.campaign", "fault-injection outcome campaign"),
 }
 
-PROTECTION_ALIASES = {
-    "error-free": ProtectionLevel.ERROR_FREE,
-    "ppu": ProtectionLevel.PPU_ONLY,
-    "ppu-reliable-queue": ProtectionLevel.PPU_RELIABLE_QUEUE,
-    "commguard": ProtectionLevel.COMMGUARD,
-}
+#: Accepted --protection spellings: the canonical values plus the "ppu"
+#: shorthand; all funnel through :meth:`ProtectionLevel.parse`.
+PROTECTION_CHOICES = (*ProtectionLevel.choices(), "ppu")
 
 
 def _parse_mtbe(text: str) -> float:
     """Accept plain numbers or k/M suffixes: ``512k``, ``1M``, ``64000``."""
-    text = text.strip().lower()
-    factor = 1.0
-    if text.endswith("k"):
-        factor, text = 1e3, text[:-1]
-    elif text.endswith("m"):
-        factor, text = 1e6, text[:-1]
-    value = float(text) * factor
-    if value <= 0:
-        raise argparse.ArgumentTypeError("MTBE must be positive")
-    return value
+    try:
+        return api.parse_mtbe(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _positive_int(text: str) -> int:
@@ -111,27 +106,28 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    app = build_app(args.app, scale=args.scale)
-    protection = PROTECTION_ALIASES[args.protection]
-    config = CommGuardConfig(frame_scale=args.frame_scale)
+    protection = ProtectionLevel.parse(args.protection)
     start = time.time()
-    result = run_program(
-        app.program,
+    report = api.run(
+        args.app,
         protection,
         mtbe=args.mtbe,
         seed=args.seed,
-        commguard_config=config,
+        frame_scale=args.frame_scale,
+        scale=args.scale,
+        trace=args.trace,
     )
     elapsed = time.time() - start
+    app = report.app
+    result = report.result
     stats = result.commguard_stats()
-    quality = app.quality(result)
     rows = [
         ["app", args.app],
         ["protection", protection.value],
         ["MTBE", "-" if args.mtbe is None else f"{args.mtbe:,.0f}"],
         ["seed", args.seed],
-        [f"quality ({app.metric.upper()})", db_or_errorfree(quality)],
-        ["baseline quality", db_or_errorfree(app.baseline_quality())],
+        [f"quality ({app.metric.upper()})", db_or_errorfree(report.quality_db)],
+        ["baseline quality", db_or_errorfree(report.baseline_quality_db())],
         ["errors injected", result.errors_injected],
         ["padded items", stats.pads],
         ["discarded items", stats.discarded_items],
@@ -140,6 +136,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         ["simulated in", f"{elapsed:.1f}s"],
     ]
     print(format_table(["metric", "value"], rows))
+    if report.trace_path is not None:
+        print(f"trace written to {report.trace_path}")
     return 0
 
 
@@ -161,12 +159,13 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    protection = PROTECTION_ALIASES[args.protection]
+    protection = ProtectionLevel.parse(args.protection)
     runner = ParallelRunner(
         scale=args.scale,
         jobs=args.jobs,
         cache=_cache_option(args),
         progress=_progress_printer() if args.progress else None,
+        trace_dir=args.trace_dir,
     )
     app = runner.app(args.app)
     ladder = [_parse_mtbe(text) for text in args.mtbe]
@@ -192,6 +191,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(["MTBE", f"mean {app.metric.upper()} (dB)", "loss ratio"], rows))
     if runner.last_stats is not None:
         print(f"[sweep] {runner.last_stats.summary()}")
+    if args.trace_dir is not None:
+        print(f"traces under {args.trace_dir}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize (default) or tail a JSONL trace produced by a run."""
+    try:
+        pairs = list(read_trace(args.file))
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 1
+
+    if args.tail is not None:
+        for data, _event in pairs[-args.tail :]:
+            print(json.dumps(data, sort_keys=True))
+        return 0
+
+    summary = summarize_trace(pairs)
+    print(f"trace summary: {args.file}")
+    rows = [["events", summary["total"]]]
+    if summary["duration"] is not None and summary["duration"] > 0:
+        rows.append(["duration", f"{summary['duration']:.3f}s"])
+        rows.append(["events/sec", f"{summary['total'] / summary['duration']:,.0f}"])
+    for kind, count in summary["by_kind"].most_common():
+        rows.append([kind, count])
+    rows.append(["errors (masked)", summary["errors"]["masked"]])
+    rows.append(["errors (unmasked)", summary["errors"]["unmasked"]])
+    print(format_table(["metric", "value"], rows))
+    if summary["edges"]:
+        edge_rows = [
+            [
+                f"q{qid}",
+                edge["pads"],
+                edge["discards"],
+                "-"
+                if edge["first_fc"] is None
+                else f"{edge['first_fc']}..{edge['last_fc']}",
+            ]
+            for qid, edge in sorted(summary["edges"].items())
+        ]
+        print("per-edge realignment:")
+        print(format_table(["edge", "pads", "discards", "fc range"], edge_rows))
     return 0
 
 
@@ -234,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("app", choices=list(APP_ORDER))
     run_parser.add_argument(
         "--protection",
-        choices=list(PROTECTION_ALIASES),
+        choices=list(PROTECTION_CHOICES),
         default="commguard",
     )
     run_parser.add_argument("--mtbe", type=_parse_mtbe, default=None,
@@ -242,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument("--frame-scale", type=int, default=1)
+    run_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream the run's structured events to a JSONL file",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
@@ -256,15 +305,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--mtbe", nargs="+", default=["64k", "256k", "1M", "4M"]
     )
     sweep_parser.add_argument(
-        "--protection", choices=list(PROTECTION_ALIASES), default="commguard"
+        "--protection", choices=list(PROTECTION_CHOICES), default="commguard"
     )
     sweep_parser.add_argument("--seeds", type=int, default=3)
     sweep_parser.add_argument("--scale", type=float, default=0.5)
     sweep_parser.add_argument(
         "--progress", action="store_true", help="print progress lines to stderr"
     )
+    sweep_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one JSONL trace per executed run into DIR",
+    )
     _add_engine_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    trace_parser = sub.add_parser(
+        "trace", help="summarize or tail a JSONL trace file"
+    )
+    trace_parser.add_argument("file", help="trace file written by run --trace")
+    trace_parser.add_argument(
+        "--tail", type=_positive_int, default=None, metavar="N",
+        help="print the last N raw events instead of the summary",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     cache_parser = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_parser.add_argument("action", choices=["info", "clear"])

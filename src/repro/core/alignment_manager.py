@@ -25,6 +25,7 @@ from repro.core.header import (
 from repro.core.queue_manager import GuardedQueue
 from repro.core.stats import CommGuardStats
 from repro.core.trace import TraceKind
+from repro.observability.events import AlignmentAction
 
 
 class AlignmentManager:
@@ -46,12 +47,28 @@ class AlignmentManager:
         self.producer_finished = False
         #: Optional trace hook: (TraceKind, active_fc, detail) -> None.
         self.observer = None
+        #: Optional structured-event sink (set by the system builder) plus
+        #: the (thread, qid) identity stamped on every emitted event.
+        self.tracer = None
+        self.thread = ""
+        self.qid = queue.qid
 
     # -- tracing -----------------------------------------------------------------
 
     def _notify(self, kind: TraceKind, active_fc: int, detail: str = "") -> None:
         if self.observer is not None:
             self.observer(kind, active_fc, detail)
+
+    def _emit_action(self, action: str, active_fc: int, reason: str) -> None:
+        self.tracer.emit(
+            AlignmentAction(
+                thread=self.thread,
+                qid=self.qid,
+                action=action,
+                active_fc=active_fc,
+                reason=reason,
+            )
+        )
 
     def _apply(self, event: AlignmentEvent, active_fc: int) -> "AlignmentState":
         """Run one FSM transition, tracing state changes."""
@@ -95,6 +112,8 @@ class AlignmentManager:
         if self.state is AlignmentState.PDG:
             self._stats.pads += 1
             self._notify(TraceKind.PAD, active_fc, "padding until matched frame")
+            if self.tracer is not None:
+                self._emit_action("pad", active_fc, "padding until matched frame")
             return self._pad_word
         while True:
             unit = self._queue.pop_unit(self._stats)
@@ -103,6 +122,8 @@ class AlignmentManager:
                     # Producer done and drained: every further pop pads.
                     self._stats.pads += 1
                     self._notify(TraceKind.PAD, active_fc, "producer finished")
+                    if self.tracer is not None:
+                        self._emit_action("pad", active_fc, "producer finished")
                     return self._pad_word
                 return None
             self._stats.is_header_checks += 1
@@ -115,6 +136,10 @@ class AlignmentManager:
                     self._stats.discard_events += 1
                 self._stats.discarded_items += 1
                 self._notify(TraceKind.DISCARD_ITEM, active_fc, "extra item drained")
+                if self.tracer is not None:
+                    self._emit_action(
+                        "discard-item", active_fc, "extra item drained"
+                    )
                 continue
             # Header unit: ECC-check, then classify against active-fc.
             self._stats.ecc_ops += 1
@@ -128,6 +153,10 @@ class AlignmentManager:
                 self._notify(
                     TraceKind.DISCARD_HEADER, active_fc, "uncorrectable ECC"
                 )
+                if self.tracer is not None:
+                    self._emit_action(
+                        "discard-header", active_fc, "uncorrectable ECC"
+                    )
                 continue
             served = self._on_header(frame_id, active_fc)
             if served is not None:
@@ -144,6 +173,8 @@ class AlignmentManager:
             self._stats.fsm_ops += 1
             self._stats.pads += 1
             self._notify(TraceKind.EOC, active_fc, "producer end-of-computation")
+            if self.tracer is not None:
+                self._emit_action("pad", active_fc, "producer end-of-computation")
             return self._pad_word
         if frame_id == active_fc:
             event = AlignmentEvent.RECEIVED_CORRECT_HEADER
@@ -161,6 +192,10 @@ class AlignmentManager:
             self._notify(
                 TraceKind.PAD, active_fc, f"future header {frame_id} (data lost)"
             )
+            if self.tracer is not None:
+                self._emit_action(
+                    "pad", active_fc, f"future header {frame_id} (data lost)"
+                )
             return self._pad_word
         if event is AlignmentEvent.RECEIVED_PAST_HEADER:
             if previous is AlignmentState.RCV_CMP:
@@ -169,6 +204,10 @@ class AlignmentManager:
             self._notify(
                 TraceKind.DISCARD_HEADER, active_fc, f"stale header {frame_id}"
             )
+            if self.tracer is not None:
+                self._emit_action(
+                    "discard-header", active_fc, f"stale header {frame_id}"
+                )
             return None  # keep draining
         if (
             event is AlignmentEvent.RECEIVED_CORRECT_HEADER
@@ -177,6 +216,10 @@ class AlignmentManager:
             # Duplicate header for the active frame: not in Table 1; benign,
             # discard and continue.
             self._stats.discarded_headers += 1
+            if self.tracer is not None:
+                self._emit_action(
+                    "discard-header", active_fc, f"duplicate header {frame_id}"
+                )
             return None
         # Correct header resolved ExpHdr/Disc/DiscFr: continue the loop to
         # fetch the actual item the thread asked for.

@@ -100,6 +100,18 @@ class CommGuard:
     def alignment_manager(self, qid: int) -> AlignmentManager:
         return self._ams[qid]
 
+    def bind_tracer(self, tracer, thread: str) -> None:
+        """Point the guard's HI and AMs at a structured-event sink.
+
+        Call after all queues are attached; *thread* is the owning thread's
+        name, stamped on every emitted event.
+        """
+        self.hi.tracer = tracer
+        self.hi.thread = thread
+        for am in self._ams.values():
+            am.tracer = tracer
+            am.thread = thread
+
     # -- interface events (Table 2) ---------------------------------------------
 
     def on_new_frame_computation(self) -> None:

@@ -20,6 +20,7 @@ from collections import deque
 from repro.core.header import END_OF_COMPUTATION, header_unit
 from repro.core.queue_manager import QueueManager
 from repro.core.stats import CommGuardStats
+from repro.observability.events import HeaderInserted
 
 
 class HeaderInserter:
@@ -30,6 +31,10 @@ class HeaderInserter:
         self._stats = stats
         # Pending work: ("header", qid, frame_id) or ("flush", qid, 0).
         self._pending: deque[tuple[str, int, int]] = deque()
+        #: Optional structured-event sink plus the owning thread's name,
+        #: both set by the system builder.
+        self.tracer = None
+        self.thread = ""
 
     def on_new_frame_computation(self, active_fc: int) -> None:
         """Queue header insertions for every outgoing edge (Table 2).
@@ -71,6 +76,15 @@ class HeaderInserter:
             if kind == "header":
                 if not self._qm.push(qid, header_unit(frame_id)):
                     return False
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        HeaderInserted(
+                            thread=self.thread,
+                            qid=qid,
+                            frame_id=frame_id,
+                            eoc=frame_id == END_OF_COMPUTATION,
+                        )
+                    )
             else:
                 if not self._qm.flush(qid):
                     return False

@@ -28,11 +28,16 @@ from dataclasses import dataclass
 
 from repro.core.header import DataUnit, is_header_unit
 from repro.core.stats import CommGuardStats
+from repro.observability.events import QueueHighWater
 
 #: ECC set/check operations charged per full working-set handoff (Table 3).
 ECC_OPS_PER_WORKSET_HANDOFF = 10
 #: ECC operations charged per frame-boundary shared-pointer refresh.
 ECC_OPS_PER_BOUNDARY_REFRESH = 2
+
+#: Occupancy/capacity fractions at which a ``QueueHighWater`` trace event
+#: fires (once per watermark per queue, lowest first).
+HIGH_WATER_MARKS = (0.5, 0.75, 0.9)
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +81,12 @@ class GuardedQueue:
         self._flushed = False
         #: High-water mark of total buffered units (Section 5.1 sizing aid).
         self.peak_units = 0
+        #: Optional structured-event sink (set by the system builder).
+        self.tracer = None
+        self._watermarks = [
+            (mark, int(mark * geometry.capacity_units))
+            for mark in HIGH_WATER_MARKS
+        ]
 
     # -- producer side ------------------------------------------------------
 
@@ -87,6 +98,17 @@ class GuardedQueue:
         total = self.total_units()
         if total > self.peak_units:
             self.peak_units = total
+            if self.tracer is not None:
+                while self._watermarks and total >= self._watermarks[0][1]:
+                    mark, _threshold = self._watermarks.pop(0)
+                    self.tracer.emit(
+                        QueueHighWater(
+                            qid=self.qid,
+                            units=total,
+                            capacity=self.geometry.capacity_units,
+                            watermark=mark,
+                        )
+                    )
         stats.qm_push_local += 1
         if is_header_unit(unit):
             stats.header_stores += 1

@@ -41,8 +41,13 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 
 def spec_key(spec, scale: float) -> str:
-    """Deterministic content key of one (spec, app-build scale) point."""
+    """Deterministic content key of one (spec, app-build scale) point.
+
+    The ``trace`` side-output path is excluded: where a run's events are
+    streamed does not change what the run computes.
+    """
     payload = dataclasses.asdict(spec)
+    payload.pop("trace", None)
     payload["protection"] = spec.protection.value
     payload["scale"] = repr(float(scale))
     payload["version"] = CACHE_VERSION

@@ -102,7 +102,9 @@ def _run_with_dump(
         qualities = []
         seeds = _seeds_for(protection, n_seeds)
         for seed in seeds:
-            record, result = runner.execute("jpeg", protection, mtbe=mtbe, seed=seed)
+            record, result = runner.run_spec(
+                RunSpec(app="jpeg", protection=protection, mtbe=mtbe, seed=seed)
+            )
             qualities.append(min(record.quality_db, QUALITY_CAP_DB))
             if seed == seeds[0]:
                 image = app.output_signal(result).astype("uint8")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import RunSpec
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.experiments.runner import SimulationRunner
 
@@ -31,7 +32,7 @@ def run(
     runner: SimulationRunner | None = None,
 ) -> Fig7Result:
     runner = runner or SimulationRunner(scale=scale)
-    record, _result = runner.execute("jpeg", mtbe=mtbe, seed=seed)
+    record = runner.execute_spec(RunSpec(app="jpeg", mtbe=mtbe, seed=seed))
     return Fig7Result(
         psnr_db=record.quality_db,
         pad_events=record.pad_events,

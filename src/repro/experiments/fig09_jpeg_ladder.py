@@ -61,7 +61,7 @@ def _run_with_dump(
     for mtbe in ladder:
         values = []
         for seed in seed_list(n_seeds):
-            record, result = runner.execute("jpeg", mtbe=mtbe, seed=seed)
+            record, result = runner.run_spec(RunSpec(app="jpeg", mtbe=mtbe, seed=seed))
             values.append(min(record.quality_db, baseline))
             if seed == 0:
                 write_ppm(

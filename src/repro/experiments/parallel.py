@@ -29,7 +29,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.config import CommGuardConfig
@@ -41,6 +42,7 @@ from repro.experiments.runner import (
 )
 from repro.machine.errors import ErrorModel
 from repro.machine.protection import ProtectionLevel
+from repro.observability.events import SweepProgress
 from repro.quality.metrics import QUALITY_CAP_DB
 
 ENV_JOBS = "REPRO_JOBS"
@@ -61,6 +63,12 @@ class RunSpec:
     The app-build ``scale`` is deliberately *not* part of the spec: it is a
     property of the runner executing it (and of the worker pool), and it is
     mixed into the cache key separately.
+
+    ``trace`` is a side-output destination, not a sweep axis: when set, the
+    run streams its structured events to that JSONL path.  It is excluded
+    from the content key (a traced and an untraced run of the same point
+    produce the same record), so requesting a trace never invalidates
+    cached results.
     """
 
     app: str
@@ -76,6 +84,8 @@ class RunSpec:
     p_data: float | None = None
     p_control: float | None = None
     p_address: float | None = None
+    #: Optional JSONL trace destination (side output; not part of the key).
+    trace: str | None = None
 
     def commguard_config(self) -> CommGuardConfig:
         return CommGuardConfig(
@@ -180,6 +190,14 @@ class ParallelRunner(SimulationRunner):
         Optional ``callable(stats: SweepStats)`` invoked after every
         completed run (cache hits included) — the CLI uses it for
         progress lines.
+    ``trace_dir``
+        Optional directory: every spec without an explicit ``trace`` path
+        gets one at ``<trace_dir>/<content_key>.jsonl``, shipping a JSONL
+        trace next to the cache entry of each executed run.
+    ``tracer``
+        Optional sweep-level event sink; receives one
+        :class:`~repro.observability.events.SweepProgress` per completed
+        run (cache hits included).
     """
 
     def __init__(
@@ -188,11 +206,15 @@ class ParallelRunner(SimulationRunner):
         jobs: int | None = None,
         cache: ResultCache | str | bool | None = None,
         progress: Callable[[SweepStats], None] | None = None,
+        trace_dir: str | os.PathLike | None = None,
+        tracer=None,
     ) -> None:
         super().__init__(scale=scale)
         self.jobs = jobs
         self.cache = ResultCache.coerce(cache)
         self.progress = progress
+        self.trace_dir = trace_dir
+        self.tracer = tracer
         self.last_stats: SweepStats | None = None
 
     # -- sweep execution -------------------------------------------------------
@@ -217,8 +239,14 @@ class ParallelRunner(SimulationRunner):
         pending: list[tuple[int, RunSpec, str | None]] = []
         for index, spec in enumerate(specs):
             key = spec.content_key(self.scale) if self.cache is not None else None
+            if self.trace_dir is not None and spec.trace is None:
+                trace_key = key if key is not None else spec.content_key(self.scale)
+                spec = replace(
+                    spec,
+                    trace=str(Path(self.trace_dir) / f"{trace_key}.jsonl"),
+                )
             cached = self.cache.load(key) if key is not None else None
-            if cached is not None:
+            if cached is not None and self._trace_satisfied(spec):
                 records[index] = cached
                 stats.cache_hits += 1
                 self._tick(stats, wall_before)
@@ -266,10 +294,26 @@ class ParallelRunner(SimulationRunner):
             self.cache.store(key, spec, self.scale, record)
         self._tick(stats, wall_before)
 
+    @staticmethod
+    def _trace_satisfied(spec: RunSpec) -> bool:
+        """A cached record may stand in for a traced spec only when its
+        trace file already exists (a cache hit would otherwise silently
+        skip producing the requested side output)."""
+        return spec.trace is None or Path(spec.trace).exists()
+
     def _tick(self, stats: SweepStats, wall_before: float) -> None:
         if self.progress is not None:
             stats.wall_seconds = time.perf_counter() - wall_before
             self.progress(stats)
+        if self.tracer is not None:
+            self.tracer.emit(
+                SweepProgress(
+                    completed=stats.completed,
+                    total=stats.total,
+                    executed=stats.executed,
+                    cache_hits=stats.cache_hits,
+                )
+            )
 
     # -- sweep-shaped conveniences ---------------------------------------------
 

@@ -4,16 +4,19 @@ Caches built apps (codec encoding and graph construction are the expensive
 parts) and packages each run's measurements into a flat
 :class:`RunRecord` the figure harnesses aggregate.
 
-The runner executes either ad-hoc argument combinations (:meth:`execute`)
-or frozen :class:`~repro.experiments.parallel.RunSpec` descriptions
-(:meth:`execute_spec` / :meth:`run_specs`); the latter is the unit of work
-of the parallel sweep engine, which overrides :meth:`run_specs` to fan
-specs out over worker processes and an on-disk result cache.
+The runner executes frozen :class:`~repro.experiments.parallel.RunSpec`
+descriptions (:meth:`run_spec` / :meth:`execute_spec` / :meth:`run_specs`),
+the unit of work of the parallel sweep engine, which overrides
+:meth:`run_specs` to fan specs out over worker processes and an on-disk
+result cache.  The old ad-hoc argument path (:meth:`execute` /
+:meth:`record`) is a deprecated shim over :func:`repro.api.run`'s
+machinery; new code should call :func:`repro.api.run` directly.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -79,6 +82,34 @@ class SimulationRunner:
         commguard_config: CommGuardConfig | None = None,
         error_model: ErrorModel | None = None,
     ) -> tuple[RunRecord, RunResult]:
+        """Deprecated: use :func:`repro.api.run` (or :meth:`run_spec`)."""
+        warnings.warn(
+            "SimulationRunner.execute() is deprecated; use repro.api.run() "
+            "or SimulationRunner.run_spec()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute(
+            app_name,
+            protection,
+            mtbe=mtbe,
+            seed=seed,
+            frame_scale=frame_scale,
+            commguard_config=commguard_config,
+            error_model=error_model,
+        )
+
+    def _execute(
+        self,
+        app_name: str,
+        protection: ProtectionLevel = ProtectionLevel.COMMGUARD,
+        mtbe: float | None = None,
+        seed: int = 0,
+        frame_scale: int = 1,
+        commguard_config: CommGuardConfig | None = None,
+        error_model: ErrorModel | None = None,
+        tracer=None,
+    ) -> tuple[RunRecord, RunResult]:
         """Run once; returns the flat record plus the raw result."""
         app = self.app(app_name)
         config = commguard_config or CommGuardConfig(frame_scale=frame_scale)
@@ -89,6 +120,7 @@ class SimulationRunner:
             seed=seed,
             commguard_config=config,
             error_model=error_model,
+            tracer=tracer,
         )
         quality = app.quality(result)
         stats = result.commguard_stats()
@@ -117,20 +149,45 @@ class SimulationRunner:
         return record, result
 
     def record(self, *args, **kwargs) -> RunRecord:
-        return self.execute(*args, **kwargs)[0]
+        """Deprecated: use :func:`repro.api.run` (or :meth:`execute_spec`)."""
+        warnings.warn(
+            "SimulationRunner.record() is deprecated; use repro.api.run() "
+            "or SimulationRunner.execute_spec()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute(*args, **kwargs)[0]
+
+    def run_spec(self, spec, tracer=None) -> tuple[RunRecord, RunResult]:
+        """Run one frozen :class:`~repro.experiments.parallel.RunSpec`.
+
+        When *tracer* is ``None`` and the spec carries a ``trace`` path, a
+        :class:`~repro.observability.JsonlTracer` streaming there is opened
+        for the run and closed afterwards.
+        """
+        from repro.observability.tracer import coerce_tracer
+
+        owned = None
+        if tracer is None:
+            tracer, owned = coerce_tracer(getattr(spec, "trace", None))
+        try:
+            return self._execute(
+                spec.app,
+                spec.protection,
+                mtbe=spec.mtbe,
+                seed=spec.seed,
+                frame_scale=spec.frame_scale,
+                commguard_config=spec.commguard_config(),
+                error_model=spec.error_model(),
+                tracer=tracer,
+            )
+        finally:
+            if owned is not None:
+                owned.close()
 
     def execute_spec(self, spec) -> RunRecord:
-        """Run one frozen :class:`~repro.experiments.parallel.RunSpec`."""
-        record, _ = self.execute(
-            spec.app,
-            spec.protection,
-            mtbe=spec.mtbe,
-            seed=spec.seed,
-            frame_scale=spec.frame_scale,
-            commguard_config=spec.commguard_config(),
-            error_model=spec.error_model(),
-        )
-        return record
+        """Run one frozen spec, returning just the flat record."""
+        return self.run_spec(spec)[0]
 
     def run_specs(self, specs: Sequence, jobs: int | None = None) -> list[RunRecord]:
         """Run specs in order, serially and in-process.
@@ -157,9 +214,17 @@ class SimulationRunner:
         error-free output exactly (quality = inf); they are capped at
         ``quality_cap_db``, the conventional "error-free" ceiling.
         """
+        from repro.experiments.parallel import RunSpec
+
         records = [
-            self.record(
-                app_name, protection, mtbe=mtbe, seed=seed, frame_scale=frame_scale
+            self.execute_spec(
+                RunSpec(
+                    app=app_name,
+                    protection=protection,
+                    mtbe=mtbe,
+                    seed=seed,
+                    frame_scale=frame_scale,
+                )
             )
             for seed in seeds
         ]

@@ -20,6 +20,12 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.observability.events import ErrorInjected
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.tracer import Tracer
 
 
 class ErrorKind(enum.Enum):
@@ -89,13 +95,22 @@ class ErrorInjector:
     per core, not per machine (Section 6).
     """
 
-    def __init__(self, model: ErrorModel, seed: int, core_id: int) -> None:
+    def __init__(
+        self,
+        model: ErrorModel,
+        seed: int,
+        core_id: int,
+        tracer: "Tracer | None" = None,
+    ) -> None:
         self.model = model
         self.core_id = core_id
         self.rng = random.Random((seed << 8) ^ (core_id * 0x9E3779B1))
         self.clock = 0
         self.errors_injected = 0
         self.errors_masked = 0
+        self.errors_by_kind: dict[ErrorKind, int] = {}
+        #: Optional trace sink; ``None`` keeps injection allocation-free.
+        self.tracer = tracer
         self._countdown = self._draw_gap() if model.enabled else None
 
     def _draw_gap(self) -> float:
@@ -115,12 +130,26 @@ class ErrorInjector:
             self.errors_injected += 1
             if self.rng.random() < self.model.p_masked:
                 self.errors_masked += 1  # flip hit a dead register
+                if self.tracer is not None:
+                    self._trace(None)
             else:
-                events.append(
-                    ErrorEvent(kind=self._draw_kind(), at_instruction=self.clock)
-                )
+                kind = self._draw_kind()
+                self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+                events.append(ErrorEvent(kind=kind, at_instruction=self.clock))
+                if self.tracer is not None:
+                    self._trace(kind)
             self._countdown += self._draw_gap()
         return events
+
+    def _trace(self, kind: ErrorKind | None) -> None:
+        self.tracer.emit(
+            ErrorInjected(
+                core=self.core_id,
+                at_instruction=self.clock,
+                effect=None if kind is None else kind.value,
+                masked=kind is None,
+            )
+        )
 
     def _draw_kind(self) -> ErrorKind:
         roll = self.rng.random()

@@ -22,6 +22,30 @@ class ProtectionLevel(enum.Enum):
     PPU_RELIABLE_QUEUE = "ppu-reliable-queue"
     COMMGUARD = "commguard"
 
+    @classmethod
+    def choices(cls) -> list[str]:
+        """Canonical user-facing spellings, in definition order."""
+        return [level.value for level in cls]
+
+    @classmethod
+    def parse(cls, text: str) -> "ProtectionLevel":
+        """Parse a user-supplied protection-level name.
+
+        Accepts canonical values (``"ppu-only"``), enum-style names
+        (``"PPU_ONLY"``) and the CLI shorthand ``"ppu"``; raises a
+        ``ValueError`` listing the valid choices otherwise.
+        """
+        normalized = text.strip().lower().replace("_", "-")
+        if normalized == "ppu":  # historical CLI shorthand for PPU_ONLY
+            return cls.PPU_ONLY
+        for level in cls:
+            if normalized == level.value:
+                return level
+        raise ValueError(
+            f"unknown protection level {text!r}; "
+            f"valid choices: {', '.join(cls.choices())} (or 'ppu')"
+        )
+
     @property
     def uses_commguard(self) -> bool:
         return self is ProtectionLevel.COMMGUARD

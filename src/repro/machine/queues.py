@@ -19,11 +19,21 @@ from __future__ import annotations
 
 import random
 
+from repro.observability.events import QueueHighWater
 from repro.words import WORD_MASK
+
+#: Occupancy/capacity fractions at which a ``QueueHighWater`` trace event
+#: fires (mirrors :data:`repro.core.queue_manager.HIGH_WATER_MARKS`).
+HIGH_WATER_MARKS = (0.5, 0.75, 0.9)
 
 
 class RawQueue:
     """Interface shared by the raw word queues."""
+
+    #: Optional structured-event sink plus the owning edge's qid, both set
+    #: by the system builder (``None`` keeps pushes allocation-free).
+    tracer = None
+    qid = -1
 
     def push(self, word: int) -> bool:
         """Append a word; ``False`` when the queue appears full (block)."""
@@ -47,6 +57,22 @@ class RawQueue:
         occupancy = self.occupancy()
         if occupancy > getattr(self, "_peak", 0):
             self._peak = occupancy
+            if self.tracer is not None:
+                self._emit_high_water(occupancy)
+
+    def _emit_high_water(self, occupancy: int) -> None:
+        capacity = self.capacity
+        pending = getattr(self, "_watermarks", None)
+        if pending is None:
+            pending = [(m, int(m * capacity)) for m in HIGH_WATER_MARKS]
+            self._watermarks = pending
+        while pending and occupancy >= pending[0][1]:
+            mark, _threshold = pending.pop(0)
+            self.tracer.emit(
+                QueueHighWater(
+                    qid=self.qid, units=occupancy, capacity=capacity, watermark=mark
+                )
+            )
 
 
 class ReliableQueue(RawQueue):
@@ -110,8 +136,12 @@ class SoftwareQueue(RawQueue):
             return False
         self._buffer[self.tail % self.capacity] = word & WORD_MASK
         self.tail = (self.tail + 1) & WORD_MASK
+        # Corrupted pointers can make occupancy() astronomical; the peak is
+        # capped at the physical buffer for the sizing statistics.
         if (occupancy := min(self.occupancy(), self.capacity)) > getattr(self, "_peak", 0):
             self._peak = occupancy
+            if self.tracer is not None:
+                self._emit_high_water(occupancy)
         return True
 
     def pop(self) -> int | None:

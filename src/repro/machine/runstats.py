@@ -13,11 +13,18 @@ from dataclasses import dataclass, field
 
 from repro.core.stats import CommGuardStats, ThreadCounters
 from repro.machine.errors import ErrorKind
+from repro.observability.metrics import MetricsRegistry
 
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    Scalar aggregates (``errors_injected``, ``queue_peaks``, ...) are derived
+    from :attr:`metrics`, the labeled :class:`MetricsRegistry` the system
+    publishes into at collection time; they are kept as plain fields so that
+    results stay cheap to pickle and simple to construct in tests.
+    """
 
     outputs: dict[str, list[int]] = field(default_factory=dict)
     thread_counters: dict[str, ThreadCounters] = field(default_factory=dict)
@@ -28,10 +35,15 @@ class RunResult:
     forced_unblocks: int = 0
     #: Per-core serialization stall cycles at frame boundaries (Section 5.3).
     frame_stall_cycles: int = 0
-    #: Cost charged per header transferred through a queue, in cycles.
+    #: Cost charged per header transferred through a queue, in cycles
+    #: (snapshot of :attr:`SystemConfig.header_transfer_cycles`, whose home
+    #: is the machine configuration).
     header_transfer_cycles: int = 2
     #: Per-edge buffered-unit high-water marks (qid -> units).
     queue_peaks: dict[int, int] = field(default_factory=dict)
+    #: Labeled counters/gauges the run published (per-core, per-thread,
+    #: per-edge); the scalar fields above are derived views of this.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     # -- aggregates -------------------------------------------------------------
 

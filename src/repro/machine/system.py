@@ -24,11 +24,12 @@ from repro.core.config import CommGuardConfig
 from repro.core.guard import CommGuard
 from repro.core.queue_manager import GuardedQueue, plan_geometry
 from repro.machine.core import SimCore
-from repro.machine.errors import ErrorInjector, ErrorModel
+from repro.machine.errors import ErrorInjector, ErrorKind, ErrorModel
 from repro.machine.ppu import PPUModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.queues import RawQueue, ReliableQueue, SoftwareQueue
 from repro.machine.runstats import RunResult
+from repro.observability.events import ForcedUnblock
 from repro.machine.thread import CommPath, GuardedCommPath, NodeThread, RawCommPath
 from repro.streamit.filters import IntSink
 from repro.streamit.partition import partition_graph
@@ -42,13 +43,16 @@ class SystemConfig:
     ``n_cores`` follows the paper's 10-core evaluation system.
     ``frame_stall_cycles`` is the pipeline-serialization cost CommGuard pays
     at each frame-computation boundary (Section 5.3; a typical pipeline
-    depth).  ``spin_instructions`` is the cost a blocked thread burns per
+    depth).  ``header_transfer_cycles`` is the cost charged per header
+    transferred through a queue in the Fig. 13 execution-time estimate.
+    ``spin_instructions`` is the cost a blocked thread burns per
     fruitless sweep.  ``timeout_sweeps`` is how many consecutive no-progress
     sweeps arm the QM timeout.  ``max_sweeps`` is a hard safety stop.
     """
 
     n_cores: int = 10
     frame_stall_cycles: int = 14
+    header_transfer_cycles: int = 2
     spin_instructions: int = 50
     timeout_sweeps: int = 3
     max_sweeps: int = 50_000_000
@@ -63,11 +67,15 @@ class MulticoreSystem:
         protection: ProtectionLevel,
         cores: list[SimCore],
         config: SystemConfig,
+        tracer=None,
     ) -> None:
         self.program = program
         self.protection = protection
         self.cores = cores
         self.config = config
+        #: Optional structured-event sink shared by every module of the
+        #: machine (``None`` disables tracing with zero overhead).
+        self.tracer = tracer
         #: qid -> queue backend, for occupancy collection (set by build()).
         self._queues: dict[int, object] = {}
 
@@ -84,12 +92,16 @@ class MulticoreSystem:
         system_config: SystemConfig | None = None,
         ppu: PPUModel | None = None,
         edge_frame_scales: dict[int, int] | None = None,
+        tracer=None,
     ) -> "MulticoreSystem":
         """Build a runnable machine.
 
         ``edge_frame_scales`` optionally maps edge qids to frame-size
         scales, enabling Section 5.4's varying frame definitions across an
         application (edges not listed use ``commguard_config.frame_scale``).
+        ``tracer`` is an optional :class:`repro.observability.Tracer`; when
+        given, every module (injectors, AMs, HI, queues, threads) emits
+        structured events into it.  ``None`` keeps the hot paths untouched.
         """
         config = system_config or SystemConfig()
         cg_config = commguard_config or CommGuardConfig()
@@ -104,7 +116,7 @@ class MulticoreSystem:
         graph.reset()
         assignment = partition_graph(graph, config.n_cores, program.frames)
         injectors = {
-            core_id: ErrorInjector(error_model, seed, core_id)
+            core_id: ErrorInjector(error_model, seed, core_id, tracer=tracer)
             for core_id in range(config.n_cores)
         }
 
@@ -121,7 +133,8 @@ class MulticoreSystem:
                     items_per_frame,
                     workset_units=cg_config.workset_units,
                 )
-                guarded_queues[edge.qid] = GuardedQueue(edge.qid, geometry)
+                guarded_queues[edge.qid] = queue = GuardedQueue(edge.qid, geometry)
+                queue.tracer = tracer
             else:
                 capacity = (
                     max(2 * edge.push_rate, 2 * edge.pop_rate, items_per_frame, 64) + 4
@@ -131,7 +144,9 @@ class MulticoreSystem:
                     if protection.queue_pointers_corruptible
                     else ReliableQueue
                 )
-                raw_queues[edge.qid] = queue_cls(capacity)
+                raw_queues[edge.qid] = raw = queue_cls(capacity)
+                raw.tracer = tracer
+                raw.qid = edge.qid
 
         cores = [SimCore(core_id, injectors[core_id]) for core_id in range(config.n_cores)]
         all_queues: dict[int, object] = dict(guarded_queues or raw_queues)
@@ -151,6 +166,8 @@ class MulticoreSystem:
                         guarded_queues[edge.qid],
                         frame_scale=edge_frame_scales.get(edge.qid),
                     )
+                if tracer is not None:
+                    guard.bind_tracer(tracer, node.name)
                 comm = GuardedCommPath(
                     guard,
                     in_qids=[e.qid for e in in_edges],
@@ -171,9 +188,10 @@ class MulticoreSystem:
                 injector=core.injector,
                 ppu=ppu,
                 frame_stall_cycles=config.frame_stall_cycles if guarded else 0,
+                tracer=tracer,
             )
             core.threads.append(thread)
-        system = cls(program, protection, cores, config)
+        system = cls(program, protection, cores, config, tracer=tracer)
         system._queues = all_queues
         return system
 
@@ -182,7 +200,10 @@ class MulticoreSystem:
     def run(self) -> RunResult:
         """Execute to completion; always terminates (timeouts guarantee it)."""
         threads = [t for core in self.cores for t in core.threads]
-        result = RunResult(frame_stall_cycles=self.config.frame_stall_cycles)
+        result = RunResult(
+            frame_stall_cycles=self.config.frame_stall_cycles,
+            header_transfer_cycles=self.config.header_transfer_cycles,
+        )
         sweeps = 0
         stuck_sweeps = 0
         while not all(t.done for t in threads):
@@ -212,16 +233,47 @@ class MulticoreSystem:
                     if not thread.done:
                         thread.force_unblock = True
                         result.forced_unblocks += 1
+                        if self.tracer is not None:
+                            self.tracer.emit(
+                                ForcedUnblock(thread=thread.node.name, sweep=sweeps)
+                            )
                 stuck_sweeps = 0
         result.sweeps = sweeps
         self._collect(result)
         return result
 
     def _collect(self, result: RunResult) -> None:
+        """Publish the machine's counters into the result's metrics registry
+        and derive the legacy scalar aggregates from it."""
+        metrics = result.metrics
         for core in self.cores:
+            injector = core.injector
+            if injector.errors_injected:
+                metrics.inc(
+                    "errors_injected", injector.errors_injected, core=core.core_id
+                )
+            if injector.errors_masked:
+                metrics.inc(
+                    "errors_masked", injector.errors_masked, core=core.core_id
+                )
+            for kind, count in injector.errors_by_kind.items():
+                metrics.inc(
+                    "errors_effective", count, core=core.core_id, kind=kind.value
+                )
             for thread in core.threads:
-                result.thread_counters[thread.node.name] = thread.counters
-            result.errors_injected += core.injector.errors_injected
+                name = thread.node.name
+                result.thread_counters[name] = thread.counters
+                cg = thread.counters.commguard
+                for series, value in (
+                    ("pads", cg.pads),
+                    ("discarded_items", cg.discarded_items),
+                    ("discarded_headers", cg.discarded_headers),
+                    ("qm_timeouts", cg.timeouts),
+                    ("header_stores", cg.header_stores),
+                    ("header_loads", cg.header_loads),
+                ):
+                    if value:
+                        metrics.inc(series, value, thread=name, core=core.core_id)
         for node in self.program.graph.sinks():
             if isinstance(node, IntSink):
                 result.outputs[node.name] = node.collected
@@ -229,7 +281,17 @@ class MulticoreSystem:
             peak = getattr(queue, "peak_units", None)
             if peak is None:
                 peak = getattr(queue, "peak_occupancy", 0)
-            result.queue_peaks[qid] = int(peak)
+            metrics.set_gauge("queue_peak_units", int(peak), qid=qid)
+        # Derived scalar views (kept as plain fields for existing consumers).
+        result.errors_injected = metrics.total("errors_injected")
+        result.errors_by_kind = {
+            ErrorKind(kind): count
+            for kind, count in metrics.labels("errors_effective", "kind").items()
+        }
+        result.queue_peaks = {
+            int(qid): int(peak)
+            for qid, peak in metrics.gauge_labels("queue_peak_units", "qid").items()
+        }
 
 
 def run_program(
@@ -240,11 +302,13 @@ def run_program(
     commguard_config: CommGuardConfig | None = None,
     system_config: SystemConfig | None = None,
     error_model: ErrorModel | None = None,
+    tracer=None,
 ) -> RunResult:
     """Convenience wrapper: build a system and run it once.
 
     ``mtbe`` is the per-core mean instructions between errors (ignored for
     ``ERROR_FREE``); pass ``error_model`` instead for a custom effect mix.
+    ``tracer`` optionally receives structured events from every module.
     """
     if error_model is None and protection.injects_errors:
         error_model = ErrorModel(mtbe=mtbe)
@@ -255,5 +319,6 @@ def run_program(
         seed=seed,
         commguard_config=commguard_config,
         system_config=system_config,
+        tracer=tracer,
     )
     return system.run()

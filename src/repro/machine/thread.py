@@ -30,6 +30,7 @@ from repro.core.stats import ThreadCounters
 from repro.machine.errors import ErrorInjector, ErrorKind
 from repro.machine.ppu import PPUModel
 from repro.machine.queues import RawQueue
+from repro.observability.events import QMTimeout
 from repro.streamit.filters import Filter
 from repro.words import flip_bit
 
@@ -141,6 +142,7 @@ class NodeThread:
         injector: ErrorInjector,
         ppu: PPUModel,
         frame_stall_cycles: int = 0,
+        tracer=None,
     ) -> None:
         self.node = node
         self.comm = comm
@@ -149,6 +151,8 @@ class NodeThread:
         self.injector = injector
         self.ppu = ppu
         self.frame_stall_cycles = frame_stall_cycles
+        #: Optional structured-event sink (``None`` disables tracing).
+        self.tracer = tracer
         self.counters = ThreadCounters()
         if isinstance(comm, GuardedCommPath):
             # Share the guard's stats object so aggregation sees both.
@@ -222,6 +226,8 @@ class NodeThread:
             self.force_unblock = False
             self._timeout_mode = True
             self.counters.commguard.timeouts += 1
+            if self.tracer is not None:
+                self.tracer.emit(QMTimeout(thread=self.node.name))
             return True
         return False
 

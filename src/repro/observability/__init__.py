@@ -1,0 +1,73 @@
+"""Structured observability: event tracing and a metrics registry.
+
+The paper's argument rests on *seeing* what the machine does under
+injected faults — where bit-flips land, when the Alignment Manager pads or
+discards, when the QM timeout fires (Figs. 7, 8, 12, 14).  This package
+provides that visibility as a first-class layer:
+
+* :mod:`repro.observability.events` — the typed event taxonomy emitted by
+  the simulator (``ErrorInjected``, ``HeaderInserted``, ``AlignmentAction``,
+  ``QMTimeout``, ``ForcedUnblock``, ``QueueHighWater``, ``SweepProgress``).
+* :mod:`repro.observability.tracer` — the ``Tracer`` protocol plus the
+  :class:`InMemoryTracer` and :class:`JsonlTracer` sinks.  Tracing is
+  strictly opt-in: every emission site is guarded by an
+  ``if tracer is not None`` check, so a disabled tracer allocates no event
+  objects and adds no work to the hot paths.
+* :mod:`repro.observability.metrics` — :class:`MetricsRegistry`, labelled
+  counters/gauges/histograms that :class:`~repro.machine.runstats.RunResult`
+  aggregation is built on (per-core error counts, per-edge queue peaks,
+  per-thread alignment actions).
+
+Entry points: pass ``tracer=...`` to
+:func:`repro.machine.system.run_program` /
+:meth:`repro.machine.system.MulticoreSystem.build`, set ``trace=...`` on a
+:class:`~repro.experiments.parallel.RunSpec`, or use the ``trace`` argument
+of :func:`repro.api.run`.  ``repro trace summary <file>`` summarizes a
+recorded JSONL trace from the command line.
+"""
+
+from repro.observability.events import (
+    EVENT_KINDS,
+    AlignmentAction,
+    ErrorInjected,
+    ForcedUnblock,
+    HeaderInserted,
+    QMTimeout,
+    QueueHighWater,
+    SweepProgress,
+    TraceEvent,
+    event_from_dict,
+)
+from repro.observability.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+)
+from repro.observability.tracer import (
+    InMemoryTracer,
+    JsonlTracer,
+    Tracer,
+    coerce_tracer,
+    read_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "AlignmentAction",
+    "ErrorInjected",
+    "EVENT_KINDS",
+    "ForcedUnblock",
+    "HeaderInserted",
+    "HistogramSummary",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "QMTimeout",
+    "QueueHighWater",
+    "SweepProgress",
+    "TraceEvent",
+    "Tracer",
+    "coerce_tracer",
+    "event_from_dict",
+    "read_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,194 @@
+"""Labelled metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named series, each series
+holding one value per label set (``registry.inc("pads", 3, thread="dct")``).
+:class:`~repro.machine.runstats.RunResult` aggregation is built on one:
+:meth:`~repro.machine.system.MulticoreSystem._collect` publishes per-core
+error counts, per-thread alignment counters and per-edge queue peaks into
+the registry and then derives the legacy scalar fields from it, so every
+aggregate the figure harnesses consume has a labelled, drill-downable
+source of truth.
+
+Label sets are stored as sorted tuples, so iteration order — and therefore
+:meth:`MetricsRegistry.as_dict` — is deterministic for a deterministic run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: A label set in canonical form: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key) if key else ""
+
+
+@dataclass(slots=True)
+class HistogramSummary:
+    """Streaming summary of one histogram series (no sample retention)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": None if self.count == 0 else self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled counters/gauges/histograms for one run (or sweep)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[LabelKey, int]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, HistogramSummary]] = {}
+
+    # -- write side ----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, **labels) -> None:
+        """Add *value* to the counter series *name* at *labels*."""
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series *name* at *labels* to *value*."""
+        self._gauges.setdefault(name, {})[_label_key(labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample into the histogram series *name* at *labels*."""
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        if key not in series:
+            series[key] = HistogramSummary()
+        series[key].observe(value)
+
+    # -- read side -----------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> int:
+        """The counter value at an exact label set (0 when never touched)."""
+        return self._counters.get(name, {}).get(_label_key(labels), 0)
+
+    def gauge(self, name: str, **labels) -> float | None:
+        return self._gauges.get(name, {}).get(_label_key(labels))
+
+    def histogram(self, name: str, **labels) -> HistogramSummary | None:
+        return self._histograms.get(name, {}).get(_label_key(labels))
+
+    def total(self, name: str) -> int:
+        """Sum of a counter series across all label sets."""
+        return sum(self._counters.get(name, {}).values())
+
+    def counters(self, name: str) -> dict[str, int]:
+        """All label sets of a counter series, keyed by ``k=v,...`` strings."""
+        series = self._counters.get(name, {})
+        return {_label_str(key): value for key, value in sorted(series.items())}
+
+    def gauges(self, name: str) -> dict[str, float]:
+        series = self._gauges.get(name, {})
+        return {_label_str(key): value for key, value in sorted(series.items())}
+
+    def labels(self, name: str, label: str) -> dict[str, int]:
+        """Counter series re-keyed by one label's value (summing the rest).
+
+        ``registry.labels("errors_injected", "core")`` -> per-core totals.
+        """
+        out: dict[str, int] = {}
+        for key, value in self._counters.get(name, {}).items():
+            for k, v in key:
+                if k == label:
+                    out[v] = out.get(v, 0) + value
+        return dict(sorted(out.items()))
+
+    def gauge_labels(self, name: str, label: str) -> dict[str, float]:
+        """Gauge series re-keyed by one label's value (max over the rest).
+
+        ``registry.gauge_labels("queue_peak_units", "qid")`` -> per-edge
+        peaks.
+        """
+        out: dict[str, float] = {}
+        for key, value in self._gauges.get(name, {}).items():
+            for k, v in key:
+                if k == label:
+                    out[v] = max(out.get(v, -math.inf), value)
+        return dict(sorted(out.items()))
+
+    def names(self) -> dict[str, list[str]]:
+        """Registered series names by type (deterministically sorted)."""
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+        }
+
+    def as_dict(self) -> dict:
+        """Deterministic plain-dict snapshot (JSON-serializable)."""
+        return {
+            "counters": {
+                name: {
+                    _label_str(key): value for key, value in sorted(series.items())
+                }
+                for name, series in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    _label_str(key): value for key, value in sorted(series.items())
+                }
+                for name, series in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    _label_str(key): summary.to_dict()
+                    for key, summary in sorted(series.items())
+                }
+                for name, series in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate *other* into this registry (counters add, gauges take
+        the max — they record high-water marks here — histograms combine)."""
+        for name, series in other._counters.items():
+            for key, value in series.items():
+                mine = self._counters.setdefault(name, {})
+                mine[key] = mine.get(key, 0) + value
+        for name, series in other._gauges.items():
+            for key, value in series.items():
+                mine_g = self._gauges.setdefault(name, {})
+                mine_g[key] = max(mine_g.get(key, -math.inf), value)
+        for name, series in other._histograms.items():
+            for key, summary in series.items():
+                mine_h = self._histograms.setdefault(name, {})
+                if key not in mine_h:
+                    mine_h[key] = HistogramSummary()
+                target = mine_h[key]
+                target.count += summary.count
+                target.total += summary.total
+                target.min = min(target.min, summary.min)
+                target.max = max(target.max, summary.max)

@@ -1,0 +1,193 @@
+"""Trace sinks: where emitted events go.
+
+A tracer is anything with an ``emit(event)`` method (the :class:`Tracer`
+protocol).  The simulator treats ``None`` as "tracing disabled" — every
+emission site is guarded by ``if tracer is not None``, so the disabled path
+constructs no event objects and does no work beyond the ``None`` check.
+
+Two sinks are provided:
+
+* :class:`InMemoryTracer` — collects events in a list (tests, notebooks,
+  post-mortems of a single run).
+* :class:`JsonlTracer` — streams events to a JSON-Lines file, one object
+  per line, each stamped with a monotonically increasing ``seq``.  The
+  format is deterministic for a deterministic simulation: no wall-clock
+  timestamps unless explicitly enabled, so traces of the same seeded run
+  are byte-identical regardless of worker count.
+
+:func:`read_trace` and :func:`summarize_trace` are the read side used by
+the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from time import perf_counter
+from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.observability.events import (
+    AlignmentAction,
+    TraceEvent,
+    event_from_dict,
+)
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything events can be emitted to."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+
+class InMemoryTracer:
+    """Collects events in order; bounded by ``max_events`` (0 = unbounded)."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.max_events and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class JsonlTracer:
+    """Streams events to a JSON-Lines file.
+
+    Each line is the event's ``to_dict()`` plus a ``seq`` counter.  With
+    ``timestamps=True`` a relative wall-clock ``t`` (seconds since the
+    tracer was opened) is added — useful interactively, but off by default
+    so traces of deterministic runs stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        path_or_handle: str | Path | IO[str],
+        timestamps: bool = False,
+    ) -> None:
+        if hasattr(path_or_handle, "write"):
+            self.path = None
+            self._handle = path_or_handle
+            self._owns_handle = False
+        else:
+            self.path = Path(path_or_handle)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w")
+            self._owns_handle = True
+        self._timestamps = timestamps
+        self._opened_at = perf_counter()
+        self.seq = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        data = event.to_dict()
+        data["seq"] = self.seq
+        self.seq += 1
+        if self._timestamps:
+            data["t"] = round(perf_counter() - self._opened_at, 6)
+        self._handle.write(json.dumps(data, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def coerce_tracer(
+    trace: "Tracer | str | Path | bool | None",
+) -> tuple[Tracer | None, JsonlTracer | None]:
+    """Normalize a user-facing ``trace`` option.
+
+    Returns ``(tracer, owned)`` where ``owned`` is a :class:`JsonlTracer`
+    this call opened (the caller must close it after the run).  ``None`` /
+    ``False`` disable tracing, ``True`` collects in memory, a path streams
+    JSONL there, and a ready :class:`Tracer` passes through.
+    """
+    if trace is None or trace is False:
+        return None, None
+    if trace is True:
+        return InMemoryTracer(), None
+    if isinstance(trace, (str, Path)):
+        tracer = JsonlTracer(trace)
+        return tracer, tracer
+    return trace, None
+
+
+def read_trace(path: str | Path) -> Iterator[tuple[dict, TraceEvent]]:
+    """Yield ``(raw_line_dict, typed_event)`` pairs from a JSONL trace."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            yield data, event_from_dict(data)
+
+
+def summarize_trace(
+    pairs: Iterable[tuple[dict, TraceEvent]],
+) -> dict:
+    """Aggregate a trace stream for ``repro trace summary``.
+
+    Returns a dict with ``total``, ``by_kind`` (Counter), ``edges``
+    (qid -> {"pads", "discards", "first_fc", "last_fc"}), ``errors``
+    (masked/unmasked counts) and ``duration`` (wall seconds between first
+    and last timestamped event, or ``None`` when untimestamped).
+    """
+    by_kind: Counter[str] = Counter()
+    edges: dict[int, dict] = {}
+    total = 0
+    masked = unmasked = 0
+    first_t = last_t = None
+    for data, event in pairs:
+        total += 1
+        by_kind[event.kind] += 1
+        if "t" in data:
+            t = data["t"]
+            first_t = t if first_t is None else first_t
+            last_t = t
+        if isinstance(event, AlignmentAction):
+            edge = edges.setdefault(
+                event.qid,
+                {"pads": 0, "discards": 0, "first_fc": None, "last_fc": None},
+            )
+            if event.action == "pad":
+                edge["pads"] += 1
+            else:
+                edge["discards"] += 1
+            if edge["first_fc"] is None:
+                edge["first_fc"] = event.active_fc
+            edge["last_fc"] = event.active_fc
+        elif event.kind == "error-injected":
+            if event.masked:
+                masked += 1
+            else:
+                unmasked += 1
+    duration = (
+        last_t - first_t if first_t is not None and last_t is not None else None
+    )
+    return {
+        "total": total,
+        "by_kind": by_kind,
+        "edges": edges,
+        "errors": {"masked": masked, "unmasked": unmasked},
+        "duration": duration,
+    }

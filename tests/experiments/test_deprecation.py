@@ -1,0 +1,54 @@
+"""The legacy SimulationRunner entry points warn; the new ones do not."""
+
+import warnings
+
+import pytest
+
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import SimulationRunner
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(scale=SCALE)
+
+
+class TestShims:
+    def test_execute_warns_and_still_works(self, runner):
+        with pytest.warns(DeprecationWarning, match="SimulationRunner.execute"):
+            record, result = runner.execute("fft", mtbe=100_000, seed=0)
+        assert record.app == "fft"
+        assert result.committed_instructions > 0
+
+    def test_record_warns_and_still_works(self, runner):
+        with pytest.warns(DeprecationWarning, match="SimulationRunner"):
+            record = runner.record("fft", mtbe=100_000, seed=0)
+        assert record.app == "fft"
+
+    def test_shims_match_spec_path(self, runner):
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.record("fft", mtbe=100_000, seed=0)
+        fresh = runner.execute_spec(RunSpec(app="fft", mtbe=100_000, seed=0))
+        assert legacy == fresh
+
+    def test_warning_points_at_replacement(self, runner):
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            runner.record("fft", mtbe=100_000, seed=0)
+
+
+class TestNewEntryPoints:
+    def test_spec_paths_do_not_warn(self, runner):
+        spec = RunSpec(app="fft", mtbe=100_000, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runner.run_spec(spec)
+            runner.execute_spec(spec)
+
+    def test_api_run_does_not_warn(self):
+        from repro.api import run
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run("fft", "commguard", mtbe=100_000, seed=0, scale=SCALE)

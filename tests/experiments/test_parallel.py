@@ -120,7 +120,9 @@ class TestDeterminism:
 
 class TestCache:
     def test_record_round_trip(self, tmp_path):
-        record = SimulationRunner(scale=SCALE).record("fft", mtbe=100_000)
+        record = SimulationRunner(scale=SCALE).execute_spec(
+            RunSpec(app="fft", mtbe=100_000)
+        )
         assert record_from_dict(record_to_dict(record)) == record
 
     def test_second_sweep_hits_cache(self, tmp_path):

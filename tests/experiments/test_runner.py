@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.experiments.parallel import RunSpec
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.experiments.runner import (
     RunRecord,
@@ -26,7 +27,7 @@ class TestRunner:
         assert runner.app("fft") is runner.app("fft")
 
     def test_record_fields(self, runner):
-        record = runner.record("fft", mtbe=100_000, seed=0)
+        record = runner.execute_spec(RunSpec(app="fft", mtbe=100_000, seed=0))
         assert isinstance(record, RunRecord)
         assert record.app == "fft"
         assert record.protection is ProtectionLevel.COMMGUARD
@@ -41,7 +42,9 @@ class TestRunner:
         }
 
     def test_error_free_record_has_no_mtbe(self, runner):
-        record = runner.record("fft", protection=ProtectionLevel.ERROR_FREE)
+        record = runner.execute_spec(
+            RunSpec(app="fft", protection=ProtectionLevel.ERROR_FREE)
+        )
         assert record.mtbe is None
         assert record.errors_injected == 0
 
@@ -53,8 +56,8 @@ class TestRunner:
         assert stdev == 0.0
 
     def test_frame_scale_passed_through(self, runner):
-        r1 = runner.record("fft", mtbe=None, frame_scale=1)
-        r8 = runner.record("fft", mtbe=None, frame_scale=8)
+        r1 = runner.execute_spec(RunSpec(app="fft", mtbe=None, frame_scale=1))
+        r8 = runner.execute_spec(RunSpec(app="fft", mtbe=None, frame_scale=8))
         assert r8.frame_scale == 8
         assert r8.execution_time < r1.execution_time
 

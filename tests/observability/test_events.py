@@ -1,0 +1,74 @@
+"""Tests for the typed trace-event taxonomy."""
+
+import pytest
+
+from repro.observability.events import (
+    EVENT_KINDS,
+    AlignmentAction,
+    ErrorInjected,
+    ForcedUnblock,
+    HeaderInserted,
+    QMTimeout,
+    QueueHighWater,
+    SweepProgress,
+    TraceEvent,
+    event_from_dict,
+)
+
+SAMPLES = [
+    ErrorInjected(core=1, at_instruction=120, effect="data", masked=False),
+    ErrorInjected(core=0, at_instruction=7, effect=None, masked=True),
+    HeaderInserted(thread="dct", qid=2, frame_id=5, eoc=False),
+    AlignmentAction(thread="sink", qid=0, action="pad", active_fc=3, reason="x"),
+    QMTimeout(thread="huffman"),
+    ForcedUnblock(thread="sink", sweep=900),
+    QueueHighWater(qid=1, units=12, capacity=16, watermark=0.75),
+    SweepProgress(completed=3, total=8, executed=2, cache_hits=1),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_to_dict_round_trips(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_to_dict_carries_kind(self, event):
+        assert event.to_dict()["kind"] == event.kind
+
+    def test_extra_keys_are_dropped(self):
+        data = QMTimeout(thread="sink").to_dict()
+        data["seq"] = 41
+        data["t"] = 0.25
+        assert event_from_dict(data) == QMTimeout(thread="sink")
+
+    def test_unknown_kind_raises_with_taxonomy(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            event_from_dict({"kind": "nope"})
+        with pytest.raises(ValueError, match="qm-timeout"):
+            event_from_dict({"kind": "nope"})
+
+
+class TestTaxonomy:
+    def test_registry_covers_every_event_class(self):
+        # Compare by kind tag: dataclass(slots=True) rebuilds each class, so
+        # __subclasses__ can transiently hold pre-slots duplicates.
+        subclass_kinds = {cls.kind for cls in TraceEvent.__subclasses__()}
+        assert subclass_kinds == set(EVENT_KINDS)
+
+    def test_kind_tags_are_unique_and_stable(self):
+        assert len(EVENT_KINDS) == len({cls.kind for cls in EVENT_KINDS.values()})
+        assert set(EVENT_KINDS) == {
+            "error-injected",
+            "header-inserted",
+            "alignment-action",
+            "qm-timeout",
+            "forced-unblock",
+            "queue-high-water",
+            "sweep-progress",
+        }
+
+    def test_events_are_frozen(self):
+        event = QMTimeout(thread="sink")
+        with pytest.raises(AttributeError):
+            event.thread = "other"

@@ -1,0 +1,148 @@
+"""Tests for the labelled metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability.metrics import HistogramSummary, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        reg = MetricsRegistry()
+        reg.inc("pads", thread="dct")
+        reg.inc("pads", 2, thread="dct")
+        reg.inc("pads", 5, thread="sink")
+        assert reg.counter("pads", thread="dct") == 3
+        assert reg.counter("pads", thread="sink") == 5
+        assert reg.total("pads") == 8
+
+    def test_untouched_counter_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter("pads", thread="dct") == 0
+        assert reg.total("pads") == 0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("errors", core=0, kind="data")
+        reg.inc("errors", kind="data", core=0)
+        assert reg.counter("errors", core=0, kind="data") == 2
+
+    def test_counters_view_keys(self):
+        reg = MetricsRegistry()
+        reg.inc("errors", 4, core=1, kind="data")
+        assert reg.counters("errors") == {"core=1,kind=data": 4}
+
+    def test_labels_sums_over_other_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("errors", 1, core=0, kind="data")
+        reg.inc("errors", 2, core=0, kind="control")
+        reg.inc("errors", 4, core=1, kind="data")
+        assert reg.labels("errors", "core") == {"0": 3, "1": 4}
+        assert reg.labels("errors", "kind") == {"control": 2, "data": 5}
+
+
+class TestGauges:
+    def test_set_and_read(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("peak", 12, qid=0)
+        reg.set_gauge("peak", 7, qid=1)
+        assert reg.gauge("peak", qid=0) == 12
+        assert reg.gauge("peak", qid=2) is None
+        assert reg.gauges("peak") == {"qid=0": 12, "qid=1": 7}
+
+    def test_gauge_labels_takes_max_over_rest(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("peak", 12, qid=0, run="a")
+        reg.set_gauge("peak", 30, qid=0, run="b")
+        reg.set_gauge("peak", 7, qid=1, run="a")
+        assert reg.gauge_labels("peak", "qid") == {"0": 30, "1": 7}
+
+
+class TestHistograms:
+    def test_observe_and_summary(self):
+        reg = MetricsRegistry()
+        for value in (2.0, 4.0, 9.0):
+            reg.observe("latency", value, edge="q0")
+        summary = reg.histogram("latency", edge="q0")
+        assert summary.count == 3
+        assert summary.min == 2.0
+        assert summary.max == 9.0
+        assert summary.mean == pytest.approx(5.0)
+
+    def test_missing_histogram_is_none(self):
+        assert MetricsRegistry().histogram("latency") is None
+
+    def test_empty_summary_to_dict(self):
+        assert HistogramSummary().to_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "min": None,
+            "max": None,
+            "mean": None,
+        }
+        assert math.isnan(HistogramSummary().mean)
+
+
+class TestSnapshots:
+    def test_names_sorted_by_type(self):
+        reg = MetricsRegistry()
+        reg.inc("zeta")
+        reg.inc("alpha")
+        reg.set_gauge("peak", 1)
+        reg.observe("lat", 1.0)
+        assert reg.names() == {
+            "counters": ["alpha", "zeta"],
+            "gauges": ["peak"],
+            "histograms": ["lat"],
+        }
+
+    def test_as_dict_is_insertion_order_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("errors", 1, core=0)
+        a.inc("errors", 2, core=1)
+        a.set_gauge("peak", 5, qid=0)
+        b.set_gauge("peak", 5, qid=0)
+        b.inc("errors", 2, core=1)
+        b.inc("errors", 1, core=0)
+        assert json.dumps(a.as_dict()) == json.dumps(b.as_dict())
+
+    def test_as_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("errors", 3, core=0)
+        reg.observe("lat", 2.5)
+        payload = json.loads(json.dumps(reg.as_dict()))
+        assert payload["counters"]["errors"]["core=0"] == 3
+        assert payload["histograms"]["lat"][""]["mean"] == 2.5
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("pads", 2, thread="x")
+        b.inc("pads", 3, thread="x")
+        b.inc("pads", 1, thread="y")
+        a.merge(b)
+        assert a.counter("pads", thread="x") == 5
+        assert a.counter("pads", thread="y") == 1
+
+    def test_gauges_take_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("peak", 9, qid=0)
+        b.set_gauge("peak", 4, qid=0)
+        b.set_gauge("peak", 11, qid=1)
+        a.merge(b)
+        assert a.gauge("peak", qid=0) == 9
+        assert a.gauge("peak", qid=1) == 11
+
+    def test_histograms_combine(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 1.0)
+        b.observe("lat", 3.0)
+        b.observe("lat", 5.0)
+        a.merge(b)
+        summary = a.histogram("lat")
+        assert summary.count == 3
+        assert summary.min == 1.0
+        assert summary.max == 5.0

@@ -1,0 +1,79 @@
+"""Golden-output tests for the ``repro trace`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+LINES = [
+    {"kind": "header-inserted", "thread": "src", "qid": 0, "frame_id": 0,
+     "eoc": False, "seq": 0},
+    {"kind": "error-injected", "core": 0, "at_instruction": 120,
+     "effect": "data", "masked": False, "seq": 1},
+    {"kind": "error-injected", "core": 1, "at_instruction": 340,
+     "effect": None, "masked": True, "seq": 2},
+    {"kind": "alignment-action", "thread": "sink", "qid": 0, "action": "pad",
+     "active_fc": 3, "reason": "future header", "seq": 3},
+    {"kind": "alignment-action", "thread": "sink", "qid": 0,
+     "action": "discard-item", "active_fc": 4, "reason": "stale header",
+     "seq": 4},
+    {"kind": "qm-timeout", "thread": "sink", "seq": 5},
+]
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "golden.jsonl"
+    path.write_text(
+        "".join(json.dumps(line, sort_keys=True) + "\n" for line in LINES)
+    )
+    return path
+
+
+class TestSummary:
+    def test_golden_summary(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        expected = (
+            f"trace summary: {trace_file}\n"
+            "metric             value\n"
+            "------------------------\n"
+            "events                 6\n"
+            "error-injected         2\n"
+            "alignment-action       2\n"
+            "header-inserted        1\n"
+            "qm-timeout             1\n"
+            "errors (masked)        1\n"
+            "errors (unmasked)      1\n"
+            "per-edge realignment:\n"
+            "edge  pads  discards  fc range\n"
+            "------------------------------\n"
+            "q0       1         1      3..4\n"
+        )
+        assert out == expected
+
+
+class TestTail:
+    def test_tail_prints_raw_lines(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--tail", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == [
+            json.dumps(line, sort_keys=True) for line in LINES[-2:]
+        ]
+
+    def test_tail_larger_than_trace_prints_all(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--tail", "99"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == len(LINES)
+
+
+class TestErrors:
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_unknown_kind_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        assert main(["trace", str(path)]) == 1
+        assert "malformed trace" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""Tests for trace sinks, coercion, and the trace read side."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.events import AlignmentAction, ErrorInjected, QMTimeout
+from repro.observability.tracer import (
+    InMemoryTracer,
+    JsonlTracer,
+    Tracer,
+    coerce_tracer,
+    read_trace,
+    summarize_trace,
+)
+
+
+class TestInMemoryTracer:
+    def test_collects_in_order(self):
+        tracer = InMemoryTracer()
+        events = [QMTimeout(thread=f"t{i}") for i in range(3)]
+        for event in events:
+            tracer.emit(event)
+        assert tracer.events == events
+        assert len(tracer) == 3
+
+    def test_of_kind_and_count(self):
+        tracer = InMemoryTracer()
+        tracer.emit(QMTimeout(thread="a"))
+        tracer.emit(AlignmentAction(thread="a", qid=0, action="pad", active_fc=1))
+        tracer.emit(QMTimeout(thread="b"))
+        assert tracer.count("qm-timeout") == 2
+        assert [e.thread for e in tracer.of_kind("qm-timeout")] == ["a", "b"]
+
+    def test_bounded_drops_beyond_max(self):
+        tracer = InMemoryTracer(max_events=2)
+        for i in range(5):
+            tracer.emit(QMTimeout(thread=f"t{i}"))
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_satisfies_protocol(self):
+        assert isinstance(InMemoryTracer(), Tracer)
+
+
+class TestJsonlTracer:
+    def test_writes_one_sorted_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(QMTimeout(thread="sink"))
+            tracer.emit(ErrorInjected(core=0, at_instruction=9, effect="data", masked=False))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"kind": "qm-timeout", "thread": "sink", "seq": 0}
+        assert lines[0] == json.dumps(first, sort_keys=True)
+        assert json.loads(lines[1])["seq"] == 1
+
+    def test_no_timestamps_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(QMTimeout(thread="sink"))
+        assert "t" not in json.loads(path.read_text())
+
+    def test_timestamps_opt_in(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path, timestamps=True) as tracer:
+            tracer.emit(QMTimeout(thread="sink"))
+        assert json.loads(path.read_text())["t"] >= 0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        JsonlTracer(path).close()
+        assert path.exists()
+
+    def test_borrowed_handle_is_not_closed(self):
+        handle = io.StringIO()
+        tracer = JsonlTracer(handle)
+        tracer.emit(QMTimeout(thread="sink"))
+        tracer.close()
+        assert not handle.closed
+        assert tracer.path is None
+        assert json.loads(handle.getvalue())["kind"] == "qm-timeout"
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+
+
+class TestCoerceTracer:
+    def test_none_and_false_disable(self):
+        assert coerce_tracer(None) == (None, None)
+        assert coerce_tracer(False) == (None, None)
+
+    def test_true_collects_in_memory(self):
+        tracer, owned = coerce_tracer(True)
+        assert isinstance(tracer, InMemoryTracer)
+        assert owned is None
+
+    def test_path_opens_owned_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer, owned = coerce_tracer(path)
+        assert tracer is owned
+        assert isinstance(owned, JsonlTracer)
+        owned.close()
+
+    def test_ready_tracer_passes_through(self):
+        ready = InMemoryTracer()
+        tracer, owned = coerce_tracer(ready)
+        assert tracer is ready
+        assert owned is None
+
+
+class TestReadTrace:
+    def test_yields_raw_and_typed_pairs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(QMTimeout(thread="sink"))
+        ((raw, event),) = list(read_trace(path))
+        assert raw["seq"] == 0
+        assert event == QMTimeout(thread="sink")
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "qm-timeout", "thread": "a"}\n\n')
+        assert len(list(read_trace(path))) == 1
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            list(read_trace(tmp_path / "absent.jsonl"))
+
+
+class TestSummarizeTrace:
+    def pairs(self, *events, times=None):
+        out = []
+        for i, event in enumerate(events):
+            data = event.to_dict()
+            if times is not None:
+                data["t"] = times[i]
+            out.append((data, event))
+        return out
+
+    def test_counts_and_edges(self):
+        summary = summarize_trace(
+            self.pairs(
+                AlignmentAction(thread="a", qid=0, action="pad", active_fc=2),
+                AlignmentAction(thread="a", qid=0, action="discard-item", active_fc=3),
+                AlignmentAction(thread="b", qid=1, action="discard-header", active_fc=7),
+                ErrorInjected(core=0, at_instruction=1, effect=None, masked=True),
+                ErrorInjected(core=0, at_instruction=2, effect="data", masked=False),
+                QMTimeout(thread="a"),
+            )
+        )
+        assert summary["total"] == 6
+        assert summary["by_kind"]["alignment-action"] == 3
+        assert summary["by_kind"]["qm-timeout"] == 1
+        assert summary["edges"][0] == {
+            "pads": 1,
+            "discards": 1,
+            "first_fc": 2,
+            "last_fc": 3,
+        }
+        assert summary["edges"][1]["discards"] == 1
+        assert summary["errors"] == {"masked": 1, "unmasked": 1}
+
+    def test_duration_none_without_timestamps(self):
+        summary = summarize_trace(self.pairs(QMTimeout(thread="a")))
+        assert summary["duration"] is None
+
+    def test_duration_spans_timestamps(self):
+        summary = summarize_trace(
+            self.pairs(
+                QMTimeout(thread="a"),
+                QMTimeout(thread="b"),
+                times=[0.5, 2.0],
+            )
+        )
+        assert summary["duration"] == pytest.approx(1.5)
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary["total"] == 0
+        assert summary["edges"] == {}

@@ -1,0 +1,159 @@
+"""End-to-end tracing contracts against real simulated runs.
+
+The acceptance bar: a commguard run at MTBE 64k produces a JSONL trace
+whose event counts exactly equal the RunResult aggregate counters, the
+``repro trace`` summary reports them, traces are byte-identical across
+worker counts, and a disabled tracer changes nothing.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.api import run
+from repro.cli import main
+from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.experiments.runner import SimulationRunner
+from repro.observability.tracer import InMemoryTracer, read_trace, summarize_trace
+
+SCALE = 0.1
+MTBE = 64_000
+SEED = 5  # exercises realignment at MTBE 64k (pads > 0)
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    """One traced commguard run at MTBE 64k, shared across the contracts."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    report = run("fft", "commguard", mtbe=MTBE, seed=SEED, scale=SCALE, trace=path)
+    return report, path, list(read_trace(path))
+
+
+class TestCountContracts:
+    def test_alignment_actions_match_result_counters(self, traced):
+        report, _path, pairs = traced
+        actions = Counter(
+            event.action for _d, event in pairs if event.kind == "alignment-action"
+        )
+        stats = report.result.commguard_stats()
+        assert stats.pads > 0  # the run must actually exercise realignment
+        assert actions["pad"] == stats.pads
+        assert actions["discard-item"] == stats.discarded_items
+        assert actions["discard-header"] == stats.discarded_headers
+
+    def test_qm_timeouts_match_result_counters(self, traced):
+        report, _path, pairs = traced
+        timeouts = sum(1 for _d, e in pairs if e.kind == "qm-timeout")
+        assert timeouts == report.result.commguard_stats().timeouts
+
+    def test_forced_unblocks_match(self, traced):
+        report, _path, pairs = traced
+        forced = sum(1 for _d, e in pairs if e.kind == "forced-unblock")
+        assert forced == report.result.forced_unblocks
+
+    def test_errors_injected_match(self, traced):
+        report, _path, pairs = traced
+        errors = [e for _d, e in pairs if e.kind == "error-injected"]
+        assert len(errors) == report.result.errors_injected
+        assert len(errors) == report.result.metrics.total("errors_injected")
+
+    def test_header_inserts_match(self, traced):
+        report, _path, pairs = traced
+        inserted = sum(1 for _d, e in pairs if e.kind == "header-inserted")
+        assert inserted == report.result.commguard_stats().header_stores
+
+    def test_trace_summary_agrees(self, traced):
+        report, _path, pairs = traced
+        summary = summarize_trace(pairs)
+        stats = report.result.commguard_stats()
+        assert sum(e["pads"] for e in summary["edges"].values()) == stats.pads
+        assert (
+            sum(e["discards"] for e in summary["edges"].values())
+            == stats.discarded_items + stats.discarded_headers
+        )
+
+    def test_cli_summary_reports_the_counts(self, traced, capsys):
+        report, path, pairs = traced
+        assert main(["trace", str(path)]) == 0
+        out = " ".join(capsys.readouterr().out.split())
+        stats = report.result.commguard_stats()
+        actions = sum(1 for _d, e in pairs if e.kind == "alignment-action")
+        assert actions == stats.pads + stats.discarded_items + stats.discarded_headers
+        assert f"alignment-action {actions}" in out
+        assert f"events {len(pairs)}" in out
+
+
+class TestStressContracts:
+    """Event kinds the calibrated 64k point never produces still count right."""
+
+    def test_discard_contract_under_error_storm(self):
+        tracer = InMemoryTracer()
+        report = run(
+            "fft", "commguard", mtbe=2_000, seed=0, scale=SCALE, trace=tracer
+        )
+        stats = report.result.commguard_stats()
+        assert stats.discarded_items > 0
+        actions = Counter(e.action for e in tracer.of_kind("alignment-action"))
+        assert actions["pad"] == stats.pads
+        assert actions["discard-item"] == stats.discarded_items
+        assert actions["discard-header"] == stats.discarded_headers
+
+    def test_timeout_contract_on_unprotected_baseline(self):
+        tracer = InMemoryTracer()
+        report = run(
+            "fft", "ppu-reliable-queue", mtbe=1_000, seed=0, scale=SCALE,
+            trace=tracer,
+        )
+        stats = report.result.commguard_stats()
+        assert stats.timeouts > 0
+        assert report.result.forced_unblocks > 0
+        assert tracer.count("qm-timeout") == stats.timeouts
+        assert tracer.count("forced-unblock") == report.result.forced_unblocks
+
+
+class TestDeterminism:
+    def specs(self):
+        return [RunSpec(app="fft", mtbe=MTBE, seed=seed) for seed in (0, SEED)]
+
+    def test_traces_byte_identical_across_worker_counts(self, tmp_path):
+        dirs = {}
+        for jobs in (1, 4):
+            trace_dir = tmp_path / f"jobs{jobs}"
+            engine = ParallelRunner(scale=SCALE, jobs=jobs, trace_dir=trace_dir)
+            engine.run_specs(self.specs())
+            dirs[jobs] = {p.name: p.read_bytes() for p in trace_dir.iterdir()}
+        assert dirs[1] == dirs[4]
+        assert len(dirs[1]) == 2
+
+    def test_event_stream_deterministic_for_fixed_seed(self):
+        runs = []
+        for _ in range(2):
+            tracer = InMemoryTracer()
+            SimulationRunner(scale=SCALE).run_spec(
+                RunSpec(app="fft", mtbe=MTBE, seed=SEED), tracer=tracer
+            )
+            runs.append(tracer.events)
+        assert runs[0] == runs[1]
+        assert runs[0]  # non-empty: the spec actually emitted events
+
+
+class TestDisabledTracer:
+    def test_results_bit_identical_with_and_without_tracing(self):
+        runner = SimulationRunner(scale=SCALE)
+        spec = RunSpec(app="fft", mtbe=MTBE, seed=SEED)
+        plain, _ = runner.run_spec(spec)
+        traced, _ = runner.run_spec(spec, tracer=InMemoryTracer())
+        assert plain == traced
+
+    def test_untraced_report_has_no_trace_artifacts(self):
+        report = run("fft", "commguard", mtbe=MTBE, seed=SEED, scale=SCALE)
+        assert report.events is None
+        assert report.trace_path is None
+
+    def test_untraced_sweep_matches_traced_sweep_records(self, tmp_path):
+        specs = [RunSpec(app="fft", mtbe=MTBE, seed=SEED)]
+        plain = ParallelRunner(scale=SCALE, jobs=1).run_specs(specs)
+        traced = ParallelRunner(
+            scale=SCALE, jobs=1, trace_dir=tmp_path / "traces"
+        ).run_specs(specs)
+        assert plain == traced
