@@ -12,7 +12,7 @@ Usage:  python examples/jpeg_error_sweep.py [output_dir]
 
 import sys
 
-from repro.api import run
+from repro.api import sweep
 from repro.apps.jpeg import build_jpeg_app
 from repro.quality.images import write_ppm
 
@@ -20,15 +20,22 @@ from repro.quality.images import write_ppm
 def main(output_dir: str = ".") -> None:
     app = build_jpeg_app(width=160, height=120, quality=90)
     print(f"error-free baseline PSNR: {app.baseline_quality():.1f} dB")
-    for mtbe in (128_000, 512_000, 2_048_000, 8_192_000):
-        report = run(app, "commguard", mtbe=mtbe, seed=0)
-        stats = report.result.commguard_stats()
+    report = sweep(
+        app,
+        "commguard",
+        mtbes=(128_000, 512_000, 2_048_000, 8_192_000),
+        seeds=[0],
+        collect_results=True,
+    )
+    for point in report:
+        mtbe = int(point.spec.mtbe)
+        stats = point.result.commguard_stats()
         path = f"{output_dir}/jpeg_mtbe{mtbe // 1000}k.ppm"
-        write_ppm(path, app.output_signal(report.result).astype("uint8"))
+        write_ppm(path, app.output_signal(point.result).astype("uint8"))
         label = (
             "error-free"
-            if report.quality_db >= app.baseline_quality()
-            else f"{report.quality_db:5.1f} dB"
+            if point.quality_db >= app.baseline_quality()
+            else f"{point.quality_db:5.1f} dB"
         )
         print(
             f"MTBE {mtbe // 1000:>5}k: PSNR {label}  "

@@ -13,21 +13,15 @@ Usage:  python examples/protection_comparison.py [app] [mtbe]
 import sys
 
 from repro import ProtectionLevel
-from repro.api import parse_mtbe, resolve_app, run
-from repro.quality.metrics import QUALITY_CAP_DB
+from repro.api import parse_mtbe, sweep
 
 
 def main(app_name: str = "jpeg", mtbe: float = 500_000, seeds: int = 3) -> None:
-    app = resolve_app(app_name, scale=1.0)
-    metric = app.metric.upper()
+    report = sweep(app_name, list(ProtectionLevel), mtbes=mtbe, seeds=seeds)
+    metric = report.app.metric.upper()
     print(f"{app_name} at MTBE {mtbe / 1000:.0f}k instructions/core:")
-    for level in ProtectionLevel:
-        qualities = []
-        n = 1 if level is ProtectionLevel.ERROR_FREE else seeds
-        for seed in range(n):
-            report = run(app, level, mtbe=mtbe, seed=seed)
-            qualities.append(min(report.quality_db, QUALITY_CAP_DB))
-        mean = sum(qualities) / len(qualities)
+    for level in report.protections:
+        mean = report.mean_quality_db(protection=level)
         print(f"  {level.value:22s} {metric} {mean:6.1f} dB")
 
 

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Record the simulator scheduler benchmark into ``BENCH_simulator.json``.
+
+Times identical runs under the legacy round-robin scheduler (per-word
+queue ops) and the event-driven ready-set scheduler with batched firing —
+the ``SystemConfig`` default — and writes one machine-readable report at
+the repo root.  The matrix is jpeg, mp3 and the fft DSP kernel at two
+MTBEs under all four protection levels, plus the reduced Figure 10
+quality campaign (the sweep the speedup target is defined on).
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_bench.py [--scale 0.25]
+        [--repeats 2] [--out BENCH_simulator.json] [--check]
+
+``--check`` exits non-zero when the event scheduler is slower than the
+legacy one on the campaign — CI runs with it so a scheduling regression
+fails the build.  Timings are best-of-``--repeats`` wall clock; both
+configurations produce bit-identical results (enforced by
+``tests/machine/test_scheduler_equivalence.py``), so only time differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import CommGuardConfig  # noqa: E402
+from repro.experiments.runner import SimulationRunner  # noqa: E402
+from repro.experiments.sweeps import MTBE_LADDER_QUALITY  # noqa: E402
+from repro.machine.protection import ProtectionLevel  # noqa: E402
+from repro.machine.system import SystemConfig, run_program  # noqa: E402
+
+CONFIGS = {
+    "legacy": SystemConfig(scheduler="legacy", batch_ops=False),
+    "event": SystemConfig(scheduler="event", batch_ops=True),
+}
+
+BENCH_APPS = ("jpeg", "mp3", "fft")
+BENCH_MTBES = (64_000, 512_000)
+
+
+def grid_cells() -> list[tuple[str, ProtectionLevel, int | None]]:
+    """(app, protection, mtbe) matrix; ERROR_FREE ignores the MTBE axis."""
+    cells: list[tuple[str, ProtectionLevel, int | None]] = []
+    for app_name in BENCH_APPS:
+        cells.append((app_name, ProtectionLevel.ERROR_FREE, None))
+        for level in (
+            ProtectionLevel.PPU_ONLY,
+            ProtectionLevel.PPU_RELIABLE_QUEUE,
+            ProtectionLevel.COMMGUARD,
+        ):
+            for mtbe in BENCH_MTBES:
+                cells.append((app_name, level, mtbe))
+    return cells
+
+
+def campaign_points() -> list[tuple[str, int, int]]:
+    """The reduced Figure 10 grid: jpeg plus mp3 frame sizes, 1 seed."""
+    points = [("jpeg", 1, mtbe) for mtbe in MTBE_LADDER_QUALITY]
+    points += [
+        ("mp3", frame_scale, mtbe)
+        for frame_scale in (1, 2)
+        for mtbe in MTBE_LADDER_QUALITY
+    ]
+    return points
+
+
+def time_call(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        before = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - before)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_simulator.json"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the event scheduler is slower than legacy",
+    )
+    args = parser.parse_args(argv)
+
+    runner = SimulationRunner(scale=args.scale)
+    for app_name in BENCH_APPS:
+        runner.app(app_name)  # build once, outside the timed region
+
+    grid = []
+    for app_name, level, mtbe in grid_cells():
+        app = runner.app(app_name)
+        timings = {}
+        for config_name, config in CONFIGS.items():
+            timings[config_name] = time_call(
+                lambda: run_program(
+                    app.program, level, mtbe=mtbe, seed=0, system_config=config
+                ),
+                args.repeats,
+            )
+        speedup = timings["legacy"] / timings["event"]
+        rate = "error-free" if mtbe is None else f"{mtbe // 1000}k"
+        print(
+            f"{app_name:5s} {level.value:22s} {rate:>10s}  "
+            f"legacy {timings['legacy']:7.3f}s  event {timings['event']:7.3f}s  "
+            f"{speedup:5.2f}x"
+        )
+        grid.append(
+            {
+                "app": app_name,
+                "protection": level.value,
+                "mtbe": mtbe,
+                "legacy_s": round(timings["legacy"], 4),
+                "event_s": round(timings["event"], 4),
+                "speedup": round(speedup, 3),
+            }
+        )
+
+    def campaign(config: SystemConfig) -> None:
+        for app_name, frame_scale, mtbe in campaign_points():
+            run_program(
+                runner.app(app_name).program,
+                ProtectionLevel.COMMGUARD,
+                mtbe=mtbe,
+                seed=0,
+                commguard_config=CommGuardConfig(frame_scale=frame_scale),
+                system_config=config,
+            )
+
+    campaign_s = {
+        name: time_call(lambda: campaign(config), args.repeats)
+        for name, config in CONFIGS.items()
+    }
+    campaign_speedup = campaign_s["legacy"] / campaign_s["event"]
+    print(
+        f"\nfig10 reduced campaign ({len(campaign_points())} runs): "
+        f"legacy {campaign_s['legacy']:.3f}s  event {campaign_s['event']:.3f}s  "
+        f"{campaign_speedup:.2f}x"
+    )
+
+    speedups = [cell["speedup"] for cell in grid]
+    report = {
+        "benchmark": "simulator-scheduler",
+        "configs": {
+            "legacy": "round-robin sweep loop, per-word queue ops",
+            "event": "event-driven ready set, batched firing (default)",
+        },
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "grid": grid,
+        "campaign": {
+            "name": "fig10-reduced",
+            "runs": len(campaign_points()),
+            "legacy_s": round(campaign_s["legacy"], 4),
+            "event_s": round(campaign_s["event"], 4),
+            "speedup": round(campaign_speedup, 3),
+        },
+        "summary": {
+            "geomean_speedup": round(
+                math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3
+            ),
+            "min_speedup": round(min(speedups), 3),
+            "max_speedup": round(max(speedups), 3),
+            "campaign_speedup": round(campaign_speedup, 3),
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check and campaign_speedup < 1.0:
+        print(
+            "FAIL: event scheduler slower than legacy on the fig10 campaign",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,14 +21,19 @@ Public layers:
 
 Quick start::
 
-    from repro import run
+    from repro import run, sweep
 
     report = run("fft", "commguard", mtbe=512_000)
     print(report.quality_db, report.record.data_loss_ratio)
+
+    grid = sweep("fft", protections=["ppu_only", "commguard"],
+                 mtbes="512k", seeds=3)
+    print(grid.mean_quality_db(protection="commguard"))
 """
 
-from repro.api import RunReport, run
+from repro.api import RunReport, SweepPoint, SweepReport, run, sweep
 from repro.core import CommGuard, CommGuardConfig
+from repro.experiments.options import EngineOptions
 from repro.machine import (
     ErrorModel,
     MulticoreSystem,
@@ -45,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CommGuard",
     "CommGuardConfig",
+    "EngineOptions",
     "ErrorModel",
     "MulticoreSystem",
     "ProtectionLevel",
@@ -52,10 +58,13 @@ __all__ = [
     "RunResult",
     "StreamGraph",
     "StreamProgram",
+    "SweepPoint",
+    "SweepReport",
     "SystemConfig",
     "psnr_db",
     "run",
     "run_program",
     "snr_db",
+    "sweep",
     "__version__",
 ]

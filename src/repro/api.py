@@ -1,4 +1,5 @@
-"""One-call public API: :func:`run` a benchmark, get a :class:`RunReport`.
+"""One-call public API: :func:`run` a benchmark, get a :class:`RunReport`;
+:func:`sweep` a grid, get a :class:`SweepReport`.
 
 Historically every entry point (CLI, figure harnesses, examples) composed
 the same plumbing by hand: build the app, parse a protection level, pick a
@@ -10,6 +11,11 @@ This module is the single front door over that stack::
 
     report = api.run("jpeg", "commguard", mtbe=512_000, seed=1)
     print(report.quality_db, report.record.data_loss_ratio)
+
+    grid = api.sweep("jpeg", protections=["ppu_only", "commguard"],
+                     mtbes=["128k", "512k"], seeds=3)
+    for level in grid.protections:
+        print(level.name, grid.mean_quality_db(protection=level))
 
 Inputs are forgiving: *app* is a registry name or a prebuilt
 :class:`~repro.apps.base.BenchmarkApp`; *protection* is a
@@ -26,19 +32,21 @@ error messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.apps.base import BenchmarkApp
 from repro.apps.registry import APP_BUILDERS, build_app
 from repro.core.config import CommGuardConfig
-from repro.experiments.parallel import RunSpec
+from repro.experiments.options import EngineOptions
+from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
 from repro.experiments.runner import RunRecord, SimulationRunner
 from repro.machine.errors import ErrorModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.runstats import RunResult
 from repro.observability.tracer import InMemoryTracer, JsonlTracer, coerce_tracer
+from repro.quality.metrics import QUALITY_CAP_DB
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observability.events import TraceEvent
@@ -210,3 +218,234 @@ def run(
         trace_path=owned.path if isinstance(owned, JsonlTracer) else None,
         events=list(tracer.events) if isinstance(tracer, InMemoryTracer) else None,
     )
+
+
+# -- grid sweeps ---------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a sweep: the frozen spec, its flat record, and —
+    when the sweep ran with ``collect_results=True`` — the raw
+    :class:`~repro.machine.runstats.RunResult` (outputs, metrics)."""
+
+    spec: RunSpec
+    record: RunRecord
+    result: RunResult | None = None
+
+    @property
+    def quality_db(self) -> float:
+        return self.record.quality_db
+
+
+@dataclass
+class SweepReport:
+    """Every point of one :func:`sweep`, in grid order.
+
+    Grid order is ``protection``-major, then ``mtbe``, then ``seed`` —
+    the same nesting the figure harnesses use.  ``stats`` carries the
+    engine's :class:`~repro.experiments.parallel.SweepStats` (wall/CPU
+    seconds, cache hits) when the parallel engine executed the sweep.
+    """
+
+    app: BenchmarkApp
+    points: list[SweepPoint]
+    options: EngineOptions
+    stats: SweepStats | None = None
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def records(self) -> list[RunRecord]:
+        return [point.record for point in self.points]
+
+    @property
+    def protections(self) -> tuple[ProtectionLevel, ...]:
+        """Protection levels present, in grid order."""
+        return tuple(dict.fromkeys(p.spec.protection for p in self.points))
+
+    @property
+    def mtbes(self) -> tuple[float | None, ...]:
+        """MTBE values present, in grid order (``None`` = error-free)."""
+        return tuple(dict.fromkeys(p.spec.mtbe for p in self.points))
+
+    def select(
+        self,
+        protection: ProtectionLevel | str | None = None,
+        mtbe: float | str | None = None,
+        seed: int | None = None,
+    ) -> list[SweepPoint]:
+        """Points matching every given axis value (``None`` = any)."""
+        level = None
+        if protection is not None:
+            level = (
+                protection
+                if isinstance(protection, ProtectionLevel)
+                else ProtectionLevel.parse(protection)
+            )
+        rate = parse_mtbe(mtbe) if mtbe is not None else None
+        return [
+            point
+            for point in self.points
+            if (level is None or point.spec.protection is level)
+            and (rate is None or point.spec.mtbe == rate)
+            and (seed is None or point.spec.seed == seed)
+        ]
+
+    def mean_quality_db(
+        self,
+        protection: ProtectionLevel | str | None = None,
+        mtbe: float | str | None = None,
+        cap: float = QUALITY_CAP_DB,
+    ) -> float:
+        """Mean quality over the matching points, each capped at *cap*
+        (runs that reproduce the error-free output have infinite SNR)."""
+        points = self.select(protection=protection, mtbe=mtbe)
+        if not points:
+            raise ValueError("no sweep points match the given axes")
+        return sum(min(p.quality_db, cap) for p in points) / len(points)
+
+
+def _parse_protection_axis(
+    protections: ProtectionLevel | str | Iterable[ProtectionLevel | str],
+) -> tuple[ProtectionLevel, ...]:
+    if isinstance(protections, (str, ProtectionLevel)):
+        protections = [protections]
+    levels: list[ProtectionLevel] = []
+    for item in protections:
+        level = item if isinstance(item, ProtectionLevel) else ProtectionLevel.parse(item)
+        if level not in levels:
+            levels.append(level)
+    if not levels:
+        raise ValueError("sweep needs at least one protection level")
+    return tuple(levels)
+
+
+def _parse_mtbe_axis(
+    mtbes: float | str | None | Iterable[float | str | None],
+) -> tuple[float | None, ...]:
+    if mtbes is None or isinstance(mtbes, (str, int, float)):
+        mtbes = [mtbes]
+    values = tuple(parse_mtbe(item) for item in mtbes)
+    if not values:
+        raise ValueError("sweep needs at least one MTBE value (None = error-free)")
+    return values
+
+
+def _parse_seed_axis(seeds: int | Iterable[int]) -> tuple[int, ...]:
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("sweep needs at least one seed")
+        return tuple(range(seeds))
+    values = tuple(seeds)
+    if not values:
+        raise ValueError("sweep needs at least one seed")
+    return values
+
+
+def sweep(
+    app: str | BenchmarkApp,
+    protections: ProtectionLevel | str | Iterable[ProtectionLevel | str] = (
+        ProtectionLevel.COMMGUARD
+    ),
+    *,
+    mtbes: float | str | None | Iterable[float | str | None] = None,
+    seeds: int | Iterable[int] = 1,
+    frame_scale: int = 1,
+    options: EngineOptions | None = None,
+    collect_results: bool = False,
+) -> SweepReport:
+    """Run one app over a ``protections x mtbes x seeds`` grid.
+
+    Each axis accepts a single value or an iterable (``seeds`` may be an
+    int *n*, meaning seeds ``0..n-1``); every spelling :func:`run` accepts
+    works here too.  ``ERROR_FREE`` ignores the error axes, so it
+    contributes exactly one point (``mtbe=None``, first seed) no matter
+    how wide they are.
+
+    *options* is the shared :class:`~repro.experiments.EngineOptions` the
+    CLI and figure harnesses use: the sweep executes on the parallel
+    engine with its ``jobs``/``cache``/``trace_dir`` behaviour, and
+    ``options.scale`` is the app-build input scale.
+
+    ``collect_results=True`` keeps every point's raw
+    :class:`~repro.machine.runstats.RunResult` (needed e.g. to decode
+    output signals); those runs execute serially in-process and bypass
+    the on-disk cache, which stores flat records only.  A prebuilt *app*
+    forces the same path: worker processes and the cache only know how to
+    rebuild registry apps by name.
+    """
+    options = options or EngineOptions()
+    scale = options.scale if options.scale is not None else 1.0
+    bench = resolve_app(app, scale=scale)
+    levels = _parse_protection_axis(protections)
+    rates = _parse_mtbe_axis(mtbes)
+    seed_values = _parse_seed_axis(seeds)
+
+    specs: list[RunSpec] = []
+    for level in levels:
+        error_free = level is ProtectionLevel.ERROR_FREE
+        for rate in (None,) if error_free else rates:
+            for seed in seed_values[:1] if error_free else seed_values:
+                specs.append(
+                    RunSpec(
+                        app=bench.name,
+                        protection=level,
+                        mtbe=rate,
+                        seed=seed,
+                        frame_scale=frame_scale,
+                    )
+                )
+
+    in_process = collect_results or isinstance(app, BenchmarkApp)
+    if in_process:
+        points = _sweep_in_process(bench, specs, scale, options, collect_results)
+        return SweepReport(app=bench, points=points, options=options)
+
+    runner = ParallelRunner(
+        scale=scale,
+        jobs=options.jobs,
+        cache=options.cache,
+        trace_dir=options.trace_dir,
+    )
+    records = runner.run_specs(specs)
+    points = [SweepPoint(spec=s, record=r) for s, r in zip(specs, records)]
+    return SweepReport(
+        app=bench, points=points, options=options, stats=runner.last_stats
+    )
+
+
+def _sweep_in_process(
+    bench: BenchmarkApp,
+    specs: Sequence[RunSpec],
+    scale: float,
+    options: EngineOptions,
+    collect_results: bool,
+) -> list[SweepPoint]:
+    """Serial sweep through the shared per-scale runner (same app cache as
+    :func:`run`), keeping each raw result when asked.  ``trace_dir`` still
+    ships one JSONL trace per run, named by content key as the parallel
+    engine does."""
+    runner = _runner_for(scale)
+    runner.adopt_app(bench)
+    points: list[SweepPoint] = []
+    for spec in specs:
+        traced = spec
+        if options.trace_dir is not None and spec.trace is None:
+            key = spec.content_key(scale)
+            traced = replace(
+                spec, trace=str(Path(options.trace_dir) / f"{key}.jsonl")
+            )
+        record, result = runner.run_spec(traced)
+        points.append(
+            SweepPoint(
+                spec=spec,
+                record=record,
+                result=result if collect_results else None,
+            )
+        )
+    return points

@@ -22,7 +22,6 @@ finished work.
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import sys
 import time
@@ -30,25 +29,19 @@ import time
 from repro import api
 from repro.apps.registry import APP_ORDER
 from repro.experiments.cache import ResultCache
+from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
+from repro.experiments.registry import figure_names, figure_specs, resolve_figure
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.machine.protection import ProtectionLevel
 from repro.observability.tracer import read_trace, summarize_trace
 from repro.quality.metrics import QUALITY_CAP_DB
 
+#: Derived view over the figure registry (canonical name -> (module,
+#: description)); kept for backwards compatibility — the registry in
+#: :mod:`repro.experiments.registry` is the source of truth.
 FIGURES = {
-    "fig3": ("repro.experiments.fig03_motivation", "jpeg under 4 protection levels"),
-    "fig7": ("repro.experiments.fig07_example", "example jpeg run, pad/discards"),
-    "fig8": ("repro.experiments.fig08_data_loss", "data loss vs MTBE, 6 apps"),
-    "fig9": ("repro.experiments.fig09_jpeg_ladder", "jpeg PSNR ladder"),
-    "fig10": ("repro.experiments.fig10_quality", "jpeg/mp3 quality vs MTBE"),
-    "fig11": ("repro.experiments.fig11_quality_others", "4 DSP apps quality"),
-    "fig12": ("repro.experiments.fig12_memory_overhead", "header memory traffic"),
-    "fig13": ("repro.experiments.fig13_runtime_overhead", "runtime overhead"),
-    "fig14": ("repro.experiments.fig14_subops", "suboperation ratios"),
-    "tables": ("repro.experiments.tables", "Tables 1-3 + storage estimate"),
-    "ablations": ("repro.experiments.ablations", "design-choice ablations"),
-    "campaign": ("repro.experiments.campaign", "fault-injection outcome campaign"),
+    spec.name: (spec.module, spec.description) for spec in figure_specs()
 }
 
 #: Accepted --protection spellings: the canonical values plus the "ppu"
@@ -95,13 +88,23 @@ def _progress_printer(stream=sys.stderr):
     return show
 
 
+def _print_figure_listing() -> None:
+    for spec in figure_specs():
+        names = spec.name
+        if spec.aliases:
+            names += f" ({', '.join(spec.aliases)})"
+        line = f"  {names:16s} {spec.description}"
+        if spec.paper_section:
+            line += f"  [{spec.paper_section}]"
+        print(line)
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("benchmarks:")
     for name in APP_ORDER:
         print(f"  {name}")
     print("\nfigures/tables (use with `figure`):")
-    for key, (_module, description) in FIGURES.items():
-        print(f"  {key:10s} {description}")
+    _print_figure_listing()
     return 0
 
 
@@ -142,19 +145,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    import importlib
-
-    module_name, _description = FIGURES[args.name]
-    module = importlib.import_module(module_name)
-    supported = inspect.signature(module.main).parameters
-    kwargs = {}
-    if args.scale is not None and "scale" in supported:
-        kwargs["scale"] = args.scale
-    if "jobs" in supported:
-        kwargs["jobs"] = args.jobs
-    if "cache" in supported:
-        kwargs["cache"] = _cache_option(args)
-    print(module.main(**kwargs))
+    if args.list or args.name is None:
+        if args.name is None and not args.list:
+            print("usage: repro figure <name> (or --list)", file=sys.stderr)
+        _print_figure_listing()
+        return 0 if args.list else 2
+    spec = resolve_figure(args.name)
+    options = EngineOptions(
+        scale=args.scale, jobs=args.jobs, cache=_cache_option(args)
+    )
+    print(spec.run(options).text)
     return 0
 
 
@@ -294,7 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=cmd_run)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
-    figure_parser.add_argument("name", choices=list(FIGURES))
+    figure_parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        choices=sorted(figure_names(include_aliases=True)),
+        help="canonical name or alias (fig3 and fig03 both work)",
+    )
+    figure_parser.add_argument(
+        "--list", action="store_true", help="list the registered figures and exit"
+    )
     figure_parser.add_argument("--scale", type=float, default=None)
     _add_engine_options(figure_parser)
     figure_parser.set_defaults(func=cmd_figure)

@@ -162,6 +162,24 @@ class AlignmentManager:
             if served is not None:
                 return served
 
+    def pop_block(self, limit: int) -> list[int]:
+        """Bulk fast path: serve up to *limit* pops in one call.
+
+        Only the aligned steady state qualifies (``Rcv/Cmp``, producer still
+        running): there every plain item is simply checked and handed over,
+        so a run of non-header units can be charged and returned in bulk.
+        Any other state — padding, draining, a header at the queue front —
+        returns ``[]`` and the per-word :meth:`pop` handles it with the full
+        FSM semantics.  Observably identical to the equivalent pops.
+        """
+        if self.state is not AlignmentState.RCV_CMP or self.producer_finished:
+            return []
+        units = self._queue.pop_plain_items(limit, self._stats)
+        if not units:
+            return []
+        self._stats.is_header_checks += len(units)
+        return [unit_word(unit) for unit in units]
+
     def _on_header(self, frame_id: int, active_fc: int) -> int | None:
         """Drive the FSM for a received header; maybe serve padding."""
         if frame_id == END_OF_COMPUTATION:

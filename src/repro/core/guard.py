@@ -146,9 +146,17 @@ class CommGuard:
         """Push one item; ``False`` when blocked (retry later)."""
         return self.qm.push(qid, item_unit(word))
 
+    def push_many(self, qid: int, words: list[int], start: int) -> int:
+        """Bulk fast path: push as many of ``words[start:]`` as fit."""
+        return self.qm.push_items(qid, words, start)
+
     def pop(self, qid: int) -> int | None:
         """Pop one item through the AM; ``None`` when blocked (retry later)."""
         return self._ams[qid].pop(self._domains[qid].active_fc)
+
+    def pop_many(self, qid: int, limit: int) -> list[int]:
+        """Bulk fast path: pop up to *limit* aligned plain items."""
+        return self._ams[qid].pop_block(limit)
 
     def advance_header_insertions(self) -> bool:
         """Drain pending HI work; ``True`` when no insertions are pending.

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.core.header import DataUnit, is_header_unit
 from repro.core.stats import CommGuardStats
 from repro.observability.events import QueueHighWater
+from repro.words import WORD_MASK
 
 #: ECC set/check operations charged per full working-set handoff (Table 3).
 ECC_OPS_PER_WORKSET_HANDOFF = 10
@@ -83,6 +84,9 @@ class GuardedQueue:
         self.peak_units = 0
         #: Optional structured-event sink (set by the system builder).
         self.tracer = None
+        #: Optional :class:`repro.machine.scheduler.WakeHub`, installed by
+        #: the event scheduler for the duration of a run.
+        self.wake_hub = None
         self._watermarks = [
             (mark, int(mark * geometry.capacity_units))
             for mark in HIGH_WATER_MARKS
@@ -116,6 +120,39 @@ class GuardedQueue:
             self._publish(stats, full_handoff=True)
         return True
 
+    def push_items(self, words: list[int], start: int, stats: CommGuardStats) -> int:
+        """Bulk fast path: append as many of ``words[start:]`` as capacity
+        allows, as plain item units, publishing full working sets along the
+        way.  Returns the number of words consumed.
+
+        Observably identical to the equivalent :meth:`push_unit` sequence
+        (same sub-operation charges, same publish points, same peak) —
+        except for the per-crossing ``QueueHighWater`` payloads, which is
+        why the bulk path declines whenever a tracer is attached.
+        """
+        if self.tracer is not None:
+            return 0
+        local = self._producer_local
+        total = len(self._published) + len(local)
+        take = min(self.geometry.capacity_units - total, len(words) - start)
+        if take <= 0:
+            return 0
+        workset = self.geometry.workset_units
+        wm = WORD_MASK
+        i = start
+        end = start + take
+        while i < end:
+            chunk = min(workset - len(local), end - i)
+            local.extend(word & wm for word in words[i : i + chunk])
+            i += chunk
+            if len(local) >= workset:
+                self._publish(stats, full_handoff=True)
+        stats.qm_push_local += take
+        total += take
+        if total > self.peak_units:
+            self.peak_units = total
+        return take
+
     def flush(self, stats: CommGuardStats) -> bool:
         """Publish a partially-filled working set.
 
@@ -137,6 +174,8 @@ class GuardedQueue:
             if full_handoff
             else ECC_OPS_PER_BOUNDARY_REFRESH
         )
+        if self.wake_hub is not None:
+            self.wake_hub.on_push(self.qid)
 
     # -- consumer side ------------------------------------------------------
 
@@ -148,7 +187,28 @@ class GuardedQueue:
         stats.qm_pop_local += 1
         if is_header_unit(unit):
             stats.header_loads += 1
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
         return unit
+
+    def pop_plain_items(self, limit: int, stats: CommGuardStats) -> list[DataUnit]:
+        """Bulk fast path: pop up to *limit* consecutive published units,
+        stopping short of the first header (which stays queued, uncharged).
+
+        Observably identical to the equivalent :meth:`pop_unit` sequence.
+        """
+        published = self._published
+        take = min(limit, len(published))
+        count = 0
+        units: list[DataUnit] = []
+        while count < take and not is_header_unit(published[0]):
+            units.append(published.popleft())
+            count += 1
+        if count:
+            stats.qm_pop_local += count
+            if self.wake_hub is not None:
+                self.wake_hub.on_pop(self.qid)
+        return units
 
     # -- introspection --------------------------------------------------------
 
@@ -205,8 +265,14 @@ class QueueManager:
     def push(self, qid: int, unit: DataUnit) -> bool:
         return self._outgoing[qid].push_unit(unit, self._stats)
 
+    def push_items(self, qid: int, words: list[int], start: int) -> int:
+        return self._outgoing[qid].push_items(words, start, self._stats)
+
     def pop(self, qid: int) -> DataUnit | None:
         return self._incoming[qid].pop_unit(self._stats)
+
+    def pop_plain_items(self, qid: int, limit: int) -> list[DataUnit]:
+        return self._incoming[qid].pop_plain_items(limit, self._stats)
 
     def flush(self, qid: int) -> bool:
         return self._outgoing[qid].flush(self._stats)

@@ -26,6 +26,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.machine.protection import ProtectionLevel
 from repro.quality.metrics import QUALITY_CAP_DB
+from repro.experiments.registry import register_figure
 
 CLASS_MODELS = {
     "data-only": dict(p_data=1.0, p_control=0.0, p_address=0.0),
@@ -194,6 +195,14 @@ def main(
         )
     )
     return "\n\n".join(sections)
+
+
+register_figure(
+    "ablations",
+    module=__name__,
+    description="design-choice ablations",
+    paper_section="Section 5 design choices",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,6 +34,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.machine.protection import ProtectionLevel
 from repro.quality.metrics import QUALITY_CAP_DB
+from repro.experiments.registry import register_figure
 
 
 class Outcome(enum.Enum):
@@ -215,6 +216,14 @@ def main(
         rows,
     )
     return text
+
+
+register_figure(
+    "campaign",
+    module=__name__,
+    description="fault-injection outcome campaign",
+    paper_section="Section 6 methodology",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

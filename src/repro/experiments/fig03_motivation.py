@@ -24,6 +24,7 @@ from repro.experiments.sweeps import seed_list
 from repro.machine.protection import ProtectionLevel
 from repro.quality.images import write_ppm
 from repro.quality.metrics import QUALITY_CAP_DB
+from repro.experiments.registry import register_figure
 
 PROTECTIONS = (
     ProtectionLevel.ERROR_FREE,
@@ -142,6 +143,14 @@ def main(
         ],
     )
     return text
+
+
+register_figure(
+    "fig3",
+    module=__name__,
+    description="jpeg under 4 protection levels",
+    paper_section="Section 2 / Fig. 3",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.experiments.parallel import RunSpec
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.experiments.runner import SimulationRunner
+from repro.experiments.registry import register_figure
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,14 @@ def main(scale: float = 2.0, seed: int = 0) -> str:
     )
     text += "\n(paper: 16 pad/discard operations, PSNR 20.2 dB on its larger image)"
     return text
+
+
+register_figure(
+    "fig7",
+    module=__name__,
+    description="example jpeg run, pad/discards",
+    paper_section="Section 6 / Fig. 7",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from repro.experiments.plotting import loss_chart
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.experiments.sweeps import MTBE_LADDER_LOSS, seed_list
+from repro.experiments.registry import register_figure
 
 
 def run(
@@ -62,6 +63,14 @@ def main(
     text += "\n\n" + loss_chart(results)
     text += "\n(paper: below 2e-3 everywhere at MTBE >= 512k; jpeg the highest)"
     return text
+
+
+register_figure(
+    "fig8",
+    module=__name__,
+    description="data loss vs MTBE, 6 apps",
+    paper_section="Section 6.1 / Fig. 8",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

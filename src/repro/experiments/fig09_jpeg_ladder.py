@@ -18,6 +18,7 @@ from repro.experiments.report import db_or_errorfree, format_table
 from repro.experiments.runner import SimulationRunner
 from repro.experiments.sweeps import seed_list
 from repro.quality.images import write_ppm
+from repro.experiments.registry import register_figure
 
 LADDER = (128_000, 512_000, 2_048_000, 8_192_000)
 PAPER_PSNR = {128_000: 14.7, 512_000: 18.6, 2_048_000: 28.6, 8_192_000: 35.6}
@@ -97,6 +98,14 @@ def main(
         cap=baseline,
     )
     return text
+
+
+register_figure(
+    "fig9",
+    module=__name__,
+    description="jpeg PSNR ladder",
+    paper_section="Section 6.2 / Fig. 9",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from repro.experiments.sweeps import (
     seed_list,
 )
 from repro.quality.metrics import QUALITY_CAP_DB
+from repro.experiments.registry import register_figure
 
 
 @dataclass(frozen=True)
@@ -124,6 +125,14 @@ def main(
         )
     text += "\n\n" + quality_chart(mp3_series, y_label="mp3 SNR (dB)", cap=mp3_base)
     return text
+
+
+register_figure(
+    "fig10",
+    module=__name__,
+    description="jpeg/mp3 quality vs MTBE",
+    paper_section="Section 6.2 / Fig. 10",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from repro.experiments.plotting import quality_chart
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
 from repro.experiments.sweeps import FRAME_SCALES, MTBE_LADDER_QUALITY
+from repro.experiments.registry import register_figure
 
 APPS = ("audiobeamformer", "channelvocoder", "complex-fir", "fft")
 
@@ -68,6 +69,14 @@ def main(
     }
     sections.append(quality_chart(default_series, y_label="SNR (dB)"))
     return "\n\n".join(sections)
+
+
+register_figure(
+    "fig11",
+    module=__name__,
+    description="4 DSP apps quality",
+    paper_section="Section 6.2 / Fig. 11",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.machine.protection import ProtectionLevel
+from repro.experiments.registry import register_figure
 
 
 def run(
@@ -52,6 +53,14 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     text += format_table(["app", "loads %", "stores %"], rows)
     text += "\n(paper: GMean < 0.2%; worst audiobeamformer 0.66% / 0.75%)"
     return text
+
+
+register_figure(
+    "fig12",
+    module=__name__,
+    description="header memory traffic",
+    paper_section="Section 6.3 / Fig. 12",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

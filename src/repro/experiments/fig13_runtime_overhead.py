@@ -17,6 +17,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.experiments.sweeps import FRAME_SCALES
 from repro.machine.protection import ProtectionLevel
+from repro.experiments.registry import register_figure
 
 
 def run(
@@ -69,6 +70,14 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     text += format_table(headers, rows)
     text += "\n(paper: mean ~1%, worst < 4%, shrinking with larger frames)"
     return text
+
+
+register_figure(
+    "fig13",
+    module=__name__,
+    description="runtime overhead",
+    paper_section="Section 6.4 / Fig. 13",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

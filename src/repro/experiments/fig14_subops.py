@@ -14,6 +14,7 @@ from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner, geometric_mean
 from repro.machine.protection import ProtectionLevel
+from repro.experiments.registry import register_figure
 
 SERIES = ("fsm_counter", "ecc", "header_bit", "total")
 
@@ -54,6 +55,14 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     text += format_table(headers, rows)
     text += "\n(paper: GMean total ~2%, worst audiobeamformer 4.9%)"
     return text
+
+
+register_figure(
+    "fig14",
+    module=__name__,
+    description="suboperation ratios",
+    paper_section="Section 6.5 / Fig. 14",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

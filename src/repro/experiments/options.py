@@ -1,0 +1,28 @@
+"""Engine options shared by every batch entry point.
+
+The CLI (``repro figure`` / ``repro sweep``), :func:`repro.api.sweep` and
+the :class:`~repro.experiments.registry.FigureSpec` runners all accept the
+same knobs for the parallel sweep engine; this dataclass is their single
+spelling, so a figure harness and an API sweep configured the same way
+build the same :class:`~repro.experiments.parallel.ParallelRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """How the sweep engine executes a batch of runs.
+
+    ``scale`` shrinks app inputs (``None`` keeps each harness's default);
+    ``jobs`` is the worker-process count (``None`` defers to ``REPRO_JOBS``
+    or the CPU count, ``1`` forces serial); ``cache`` toggles the on-disk
+    result cache; ``trace_dir`` ships one JSONL trace per executed run.
+    """
+
+    scale: float | None = None
+    jobs: int | None = None
+    cache: bool = True
+    trace_dir: str | None = None

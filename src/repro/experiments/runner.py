@@ -89,7 +89,7 @@ class SimulationRunner:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._execute(
+        return self._run_via_api(
             app_name,
             protection,
             mtbe=mtbe,
@@ -98,6 +98,33 @@ class SimulationRunner:
             commguard_config=commguard_config,
             error_model=error_model,
         )
+
+    def _run_via_api(
+        self,
+        app_name: str,
+        protection: ProtectionLevel = ProtectionLevel.COMMGUARD,
+        mtbe: float | None = None,
+        seed: int = 0,
+        frame_scale: int = 1,
+        commguard_config: CommGuardConfig | None = None,
+        error_model: ErrorModel | None = None,
+    ) -> tuple[RunRecord, RunResult]:
+        """The shim body: translate the legacy argument spelling into one
+        :func:`repro.api.run` call (passing this runner's built app so the
+        api-level runner cache and ours agree on the instance)."""
+        from repro import api
+
+        report = api.run(
+            self.app(app_name),
+            protection,
+            mtbe=mtbe,
+            seed=seed,
+            config=commguard_config,
+            frame_scale=frame_scale if commguard_config is None else 1,
+            scale=self.scale,
+            error_model=error_model,
+        )
+        return report.record, report.result
 
     def _execute(
         self,
@@ -156,7 +183,7 @@ class SimulationRunner:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._execute(*args, **kwargs)[0]
+        return self._run_via_api(*args, **kwargs)[0]
 
     def run_spec(self, spec, tracer=None) -> tuple[RunRecord, RunResult]:
         """Run one frozen :class:`~repro.experiments.parallel.RunSpec`.

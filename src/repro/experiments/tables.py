@@ -19,6 +19,7 @@ from repro.core.guard import CommGuard
 from repro.core.queue_manager import GuardedQueue, plan_geometry
 from repro.core.stats import CommGuardStats
 from repro.experiments.report import format_table
+from repro.experiments.registry import register_figure
 
 
 def table1_text() -> str:
@@ -122,6 +123,14 @@ def storage_text(n_queues: int = 4) -> str:
 
 def main() -> str:
     return "\n\n".join([table1_text(), table2_text(), storage_text()])
+
+
+register_figure(
+    "tables",
+    module=__name__,
+    description="Tables 1-3 + storage estimate",
+    paper_section="Sections 4-5 / Tables 1-3",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,6 +34,9 @@ class RawQueue:
     #: by the system builder (``None`` keeps pushes allocation-free).
     tracer = None
     qid = -1
+    #: Optional :class:`repro.machine.scheduler.WakeHub`, installed by the
+    #: event scheduler for the duration of a run (``None`` otherwise).
+    wake_hub = None
 
     def push(self, word: int) -> bool:
         """Append a word; ``False`` when the queue appears full (block)."""
@@ -42,6 +45,22 @@ class RawQueue:
     def pop(self) -> int | None:
         """Remove the next word; ``None`` when the queue appears empty."""
         raise NotImplementedError
+
+    def push_many(self, words: list[int], start: int) -> int:
+        """Append ``words[start:]`` without blocking; return how many fit.
+
+        The default declines so subclasses without a bulk path fall back to
+        per-word pushes.  Implementations must be observably identical to
+        the equivalent sequence of :meth:`push` calls.
+        """
+        return 0
+
+    def pop_many(self, limit: int) -> list[int]:
+        """Remove up to *limit* words; empty list when nothing is poppable.
+
+        Must be observably identical to the equivalent :meth:`pop` calls.
+        """
+        return []
 
     def occupancy(self) -> int:
         raise NotImplementedError
@@ -90,6 +109,8 @@ class ReliableQueue(RawQueue):
             return False
         self._items.append(word & WORD_MASK)
         self._track_peak()
+        if self.wake_hub is not None:
+            self.wake_hub.on_push(self.qid)
         return True
 
     def pop(self) -> int | None:
@@ -100,7 +121,39 @@ class ReliableQueue(RawQueue):
         if self._read > 4096:  # compact lazily
             del self._items[: self._read]
             self._read = 0
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
         return word
+
+    def push_many(self, words: list[int], start: int) -> int:
+        if self.tracer is not None:
+            # High-water events carry the occupancy at each crossing; only
+            # the per-word path reproduces those bytes exactly.
+            return 0
+        room = self.capacity - self.occupancy()
+        take = min(room, len(words) - start)
+        if take <= 0:
+            return 0
+        self._items.extend(word & WORD_MASK for word in words[start : start + take])
+        if (occupancy := self.occupancy()) > getattr(self, "_peak", 0):
+            self._peak = occupancy
+        if self.wake_hub is not None:
+            self.wake_hub.on_push(self.qid)
+        return take
+
+    def pop_many(self, limit: int) -> list[int]:
+        take = min(limit, self.occupancy())
+        if take <= 0:
+            return []
+        read = self._read
+        words = self._items[read : read + take]
+        self._read = read + take
+        if self._read > 4096:  # compact lazily
+            del self._items[: self._read]
+            self._read = 0
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
+        return words
 
     def occupancy(self) -> int:
         return len(self._items) - self._read
@@ -142,6 +195,8 @@ class SoftwareQueue(RawQueue):
             self._peak = occupancy
             if self.tracer is not None:
                 self._emit_high_water(occupancy)
+        if self.wake_hub is not None:
+            self.wake_hub.on_push(self.qid)
         return True
 
     def pop(self) -> int | None:
@@ -149,7 +204,47 @@ class SoftwareQueue(RawQueue):
             return None
         word = self._buffer[self.head % self.capacity]
         self.head = (self.head + 1) & WORD_MASK
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
         return word
+
+    def push_many(self, words: list[int], start: int) -> int:
+        if self.tracer is not None:
+            return 0  # per-word path reproduces high-water event bytes
+        room = self.capacity - self.occupancy()
+        take = min(room, len(words) - start)
+        if take <= 0:
+            return 0
+        buffer = self._buffer
+        capacity = self.capacity
+        tail = self.tail
+        for word in words[start : start + take]:
+            buffer[tail % capacity] = word & WORD_MASK
+            tail = (tail + 1) & WORD_MASK
+        self.tail = tail
+        if (occupancy := min(self.occupancy(), capacity)) > getattr(self, "_peak", 0):
+            self._peak = occupancy
+        if self.wake_hub is not None:
+            self.wake_hub.on_push(self.qid)
+        return take
+
+    def pop_many(self, limit: int) -> list[int]:
+        # Corrupted pointers can make occupancy() astronomical; replaying
+        # stale slots word by word is exactly what repeated pop() does.
+        take = min(limit, self.occupancy())
+        if take <= 0:
+            return []
+        buffer = self._buffer
+        capacity = self.capacity
+        head = self.head
+        words = []
+        for _ in range(take):
+            words.append(buffer[head % capacity])
+            head = (head + 1) & WORD_MASK
+        self.head = head
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
+        return words
 
     def corrupt_pointer(self, rng: random.Random) -> None:
         """Flip a random bit of head or tail (a QME-class error)."""
@@ -158,3 +253,5 @@ class SoftwareQueue(RawQueue):
             self.head = (self.head ^ bit) & WORD_MASK
         else:
             self.tail = (self.tail ^ bit) & WORD_MASK
+        if self.wake_hub is not None:
+            self.wake_hub.on_corrupt(self.qid)

@@ -7,13 +7,15 @@ partitions nodes onto cores, instantiates the per-edge queue backends
 queues), wires the CommGuard modules when enabled, and creates one
 :class:`~repro.machine.thread.NodeThread` per node.
 
-The run loop sweeps the cores round-robin, letting each thread run until it
-blocks.  A sweep in which nothing progressed means the system is stuck on
-queue state (e.g. a corrupted software queue that looks simultaneously full
-and empty); after a few such sweeps the QM timeout fires and blocked
-operations complete with pad/drop semantics (Section 5.1), so runs always
-terminate — possibly with garbage output, which is precisely the baseline
-behaviour of Figs. 3b/3c.
+The run loop (see :mod:`repro.machine.scheduler`) lets each thread run
+until it blocks; by default an event-driven ready-set scheduler steps only
+threads a queue operation could have unblocked, with sweep accounting kept
+bit-identical to the legacy round-robin loop.  A sweep in which nothing
+progressed means the system is stuck on queue state (e.g. a corrupted
+software queue that looks simultaneously full and empty); after a few such
+sweeps the QM timeout fires and blocked operations complete with pad/drop
+semantics (Section 5.1), so runs always terminate — possibly with garbage
+output, which is precisely the baseline behaviour of Figs. 3b/3c.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from repro.machine.ppu import PPUModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.queues import RawQueue, ReliableQueue, SoftwareQueue
 from repro.machine.runstats import RunResult
-from repro.observability.events import ForcedUnblock
+from repro.machine.scheduler import resolve_scheduler
 from repro.machine.thread import CommPath, GuardedCommPath, NodeThread, RawCommPath
 from repro.streamit.filters import IntSink
 from repro.streamit.partition import partition_graph
@@ -48,6 +50,14 @@ class SystemConfig:
     ``spin_instructions`` is the cost a blocked thread burns per
     fruitless sweep.  ``timeout_sweeps`` is how many consecutive no-progress
     sweeps arm the QM timeout.  ``max_sweeps`` is a hard safety stop.
+
+    ``scheduler`` selects the run loop: ``"event"`` (the ready-set
+    scheduler) or ``"legacy"`` (the original round-robin sweep).  Both are
+    bit-identical — see :mod:`repro.machine.scheduler`.  ``batch_ops``
+    enables the credit-based batched-firing fast path in
+    :class:`~repro.machine.thread.NodeThread` (bulk queue operations for
+    the words of a firing that cannot block); it changes wall-clock time
+    only, never results or trace bytes.
     """
 
     n_cores: int = 10
@@ -56,6 +66,8 @@ class SystemConfig:
     spin_instructions: int = 50
     timeout_sweeps: int = 3
     max_sweeps: int = 50_000_000
+    scheduler: str = "event"
+    batch_ops: bool = True
 
 
 class MulticoreSystem:
@@ -189,6 +201,7 @@ class MulticoreSystem:
                 ppu=ppu,
                 frame_stall_cycles=config.frame_stall_cycles if guarded else 0,
                 tracer=tracer,
+                batch_ops=config.batch_ops,
             )
             core.threads.append(thread)
         system = cls(program, protection, cores, config, tracer=tracer)
@@ -198,47 +211,18 @@ class MulticoreSystem:
     # -- execution ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute to completion; always terminates (timeouts guarantee it)."""
+        """Execute to completion; always terminates (timeouts guarantee it).
+
+        The loop itself lives in :mod:`repro.machine.scheduler`; which
+        implementation runs is selected by ``SystemConfig.scheduler`` and
+        both produce bit-identical results.
+        """
         threads = [t for core in self.cores for t in core.threads]
         result = RunResult(
             frame_stall_cycles=self.config.frame_stall_cycles,
             header_transfer_cycles=self.config.header_transfer_cycles,
         )
-        sweeps = 0
-        stuck_sweeps = 0
-        while not all(t.done for t in threads):
-            sweeps += 1
-            if sweeps > self.config.max_sweeps:
-                result.hung = True
-                break
-            progressed = False
-            for thread in threads:
-                if thread.done:
-                    continue
-                before = thread.progress_token()
-                thread.step()
-                if thread.progress_token() != before:
-                    progressed = True
-            if progressed:
-                stuck_sweeps = 0
-                continue
-            # Nothing moved: blocked threads spin (exposing queue state to
-            # spin-time errors) and, after timeout_sweeps, the QM timeout arms.
-            stuck_sweeps += 1
-            for thread in threads:
-                if not thread.done:
-                    thread.spin(self.config.spin_instructions)
-            if stuck_sweeps >= self.config.timeout_sweeps:
-                for thread in threads:
-                    if not thread.done:
-                        thread.force_unblock = True
-                        result.forced_unblocks += 1
-                        if self.tracer is not None:
-                            self.tracer.emit(
-                                ForcedUnblock(thread=thread.node.name, sweep=sweeps)
-                            )
-                stuck_sweeps = 0
-        result.sweeps = sweeps
+        resolve_scheduler(self.config.scheduler).run(self, threads, result)
         self._collect(result)
         return result
 

@@ -51,6 +51,18 @@ class CommPath:
     def pop(self, port: int) -> int | None:
         raise NotImplementedError
 
+    def push_many(self, port: int, words: list[int], start: int) -> int:
+        """Bulk fast path: push ``words[start:]`` while room remains; return
+        how many were consumed.  Must be observably identical to the same
+        sequence of :meth:`push` calls; ``0`` falls back to per-word."""
+        return 0
+
+    def pop_many(self, port: int, limit: int) -> list[int]:
+        """Bulk fast path: pop up to *limit* words that cannot block.  Must
+        be observably identical to the same :meth:`pop` calls; ``[]`` falls
+        back to per-word."""
+        return []
+
     def on_end(self) -> None:
         """Outermost scope exited."""
 
@@ -79,6 +91,12 @@ class RawCommPath(CommPath):
 
     def pop(self, port: int) -> int | None:
         return self._incoming[port].pop()
+
+    def push_many(self, port: int, words: list[int], start: int) -> int:
+        return self._outgoing[port].push_many(words, start)
+
+    def pop_many(self, port: int, limit: int) -> list[int]:
+        return self._incoming[port].pop_many(limit)
 
     def corrupt_management_state(self, rng: random.Random) -> bool:
         if not self._corruptible:
@@ -109,6 +127,12 @@ class GuardedCommPath(CommPath):
 
     def pop(self, port: int) -> int | None:
         return self.guard.pop(self._in_qids[port])
+
+    def push_many(self, port: int, words: list[int], start: int) -> int:
+        return self.guard.push_many(self._out_qids[port], words, start)
+
+    def pop_many(self, port: int, limit: int) -> list[int]:
+        return self.guard.pop_many(self._in_qids[port], limit)
 
     def on_end(self) -> None:
         self.guard.on_end_of_computation()
@@ -143,6 +167,7 @@ class NodeThread:
         ppu: PPUModel,
         frame_stall_cycles: int = 0,
         tracer=None,
+        batch_ops: bool = True,
     ) -> None:
         self.node = node
         self.comm = comm
@@ -153,6 +178,9 @@ class NodeThread:
         self.frame_stall_cycles = frame_stall_cycles
         #: Optional structured-event sink (``None`` disables tracing).
         self.tracer = tracer
+        #: Credit-based batched firing: queue words that cannot block move
+        #: in bulk (wall-clock only; results and trace bytes are invariant).
+        self.batch_ops = batch_ops
         self.counters = ThreadCounters()
         if isinstance(comm, GuardedCommPath):
             # Share the guard's stats object so aggregation sees both.
@@ -238,12 +266,18 @@ class NodeThread:
         rng = self.injector.rng
 
         # 1. Pop inputs (with control-error count perturbations).
+        batch = self.batch_ops
         inputs: list[list[int]] = []
         for port, rate in enumerate(node.input_rates):
             delta = plan.pop_deltas.get(port, 0)
             n = max(0, rate + delta)
             words: list[int] = []
             while len(words) < n:
+                if batch:
+                    got = self.comm.pop_many(port, n - len(words))
+                    if got:
+                        words.extend(got)
+                        continue
                 word = self.comm.pop(port)
                 if word is None:
                     if self._consume_force_unblock():
@@ -262,15 +296,18 @@ class NodeThread:
         self.counters.memory.loads += node.memory_loads()
 
         # 2. Apply data/addressing effects on live input and state words.
-        flat_inputs = [(p, i) for p, port in enumerate(inputs) for i in range(len(port))]
-        for _ in range(plan.input_bitflips):
-            if flat_inputs:
-                p, i = rng.choice(flat_inputs)
-                inputs[p][i] = flip_bit(inputs[p][i], rng.randrange(32))
-        for _ in range(plan.garbage_loads):
-            if flat_inputs:
-                p, i = rng.choice(flat_inputs)
-                inputs[p][i] = self.ppu.garbage_word(rng)
+        if plan.input_bitflips or plan.garbage_loads:
+            flat_inputs = [
+                (p, i) for p, port in enumerate(inputs) for i in range(len(port))
+            ]
+            for _ in range(plan.input_bitflips):
+                if flat_inputs:
+                    p, i = rng.choice(flat_inputs)
+                    inputs[p][i] = flip_bit(inputs[p][i], rng.randrange(32))
+            for _ in range(plan.garbage_loads):
+                if flat_inputs:
+                    p, i = rng.choice(flat_inputs)
+                    inputs[p][i] = self.ppu.garbage_word(rng)
         for _ in range(plan.state_bitflips):
             state = node.state_words()
             if state:
@@ -290,13 +327,14 @@ class NodeThread:
             )
 
         # 4. Apply output data effects and count perturbations; push.
-        flat_outputs = [
-            (p, i) for p, port in enumerate(outputs) for i in range(len(port))
-        ]
-        for _ in range(plan.output_bitflips):
-            if flat_outputs:
-                p, i = rng.choice(flat_outputs)
-                outputs[p][i] = flip_bit(outputs[p][i], rng.randrange(32))
+        if plan.output_bitflips:
+            flat_outputs = [
+                (p, i) for p, port in enumerate(outputs) for i in range(len(port))
+            ]
+            for _ in range(plan.output_bitflips):
+                if flat_outputs:
+                    p, i = rng.choice(flat_outputs)
+                    outputs[p][i] = flip_bit(outputs[p][i], rng.randrange(32))
         for port, rate in enumerate(node.output_rates):
             words = outputs[port]
             delta = plan.push_deltas.get(port, 0)
@@ -306,10 +344,18 @@ class NodeThread:
             elif n > rate:
                 filler = words[-1] if words else 0
                 words = words + [filler] * (n - rate)
-            for word in words:
-                while not self.comm.push(port, word):
-                    if self._consume_force_unblock():
-                        break  # timed out: drop the item
+            i = 0
+            while i < n:
+                if batch:
+                    pushed = self.comm.push_many(port, words, i)
+                    if pushed:
+                        i += pushed
+                        continue
+                if self.comm.push(port, words[i]):
+                    i += 1
+                elif self._consume_force_unblock():
+                    i += 1  # timed out: drop the item
+                else:
                     yield
             self.counters.items_pushed += n
             self.counters.memory.stores += n
