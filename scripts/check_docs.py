@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo markdown links + runnable snippets.
+
+Two classes of doc rot this catches:
+
+* **Dead links** — every relative markdown link (``[text](FILE.md)``,
+  ``[text](dir/file.py#anchor)``) in the repo's top-level docs must point
+  at a file that exists.  External links (``http(s)://``, ``mailto:``)
+  and pure in-page anchors (``#section``) are skipped.
+* **Stale snippets** — every fenced ```` ```python ```` block is
+  compiled; blocks written as interpreter sessions (containing ``>>>``)
+  are additionally *executed* as doctests, so quickstart examples in
+  README.md and FAULTS.md keep producing exactly the output they show.
+
+Exit status 0 = clean; 1 = problems (each printed one per line).
+Run as ``PYTHONPATH=src python scripts/check_docs.py [files...]``;
+with no arguments it checks every ``*.md`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — excluding images; target split from a "#anchor".
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text: str):
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        line = text.count("\n", 0, match.start()) + 1
+        yield line, target
+
+
+def python_blocks(text: str):
+    """Yield ``(start_line, source)`` for every ```python fenced block."""
+    lines = text.splitlines()
+    block: list[str] | None = None
+    start = 0
+    for number, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line.strip())
+        if block is None:
+            if fence and fence.group(1) == "python":
+                block, start = [], number + 1
+        elif fence:
+            yield start, "\n".join(block) + "\n"
+            block = None
+        else:
+            block.append(line)
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    problems = []
+    for line, target in iter_links(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.partition("#")[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}:{line}: dead link -> {target}")
+    return problems
+
+
+def check_snippets(path: Path, text: str) -> list[str]:
+    problems = []
+    parser = doctest.DocTestParser()
+    for start, source in python_blocks(text):
+        label = f"{path.name}:{start}"
+        if ">>>" in source:
+            test = parser.get_doctest(source, {}, label, str(path), start)
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+                verbose=False,
+            )
+            out: list[str] = []
+            runner.run(test, out=out.append)
+            if runner.failures:
+                problems.append(
+                    f"{label}: doctest failed "
+                    f"({runner.failures}/{runner.tries} examples)"
+                )
+                sys.stderr.write("".join(out))
+        else:
+            try:
+                compile(source, label, "exec")
+            except SyntaxError as error:
+                problems.append(f"{label}: snippet does not compile: {error}")
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    return check_links(path, text) + check_snippets(path, text)
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        paths = sorted(REPO_ROOT.glob("*.md"))
+    problems: list[str] = []
+    checked = 0
+    for path in paths:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    status = "FAIL" if problems else "ok"
+    print(f"[check_docs] {checked} file(s), {len(problems)} problem(s): {status}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

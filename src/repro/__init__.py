@@ -33,13 +33,19 @@ Quick start::
 
 from repro.api import RunReport, SweepPoint, SweepReport, run, sweep
 from repro.core import CommGuard, CommGuardConfig
+from repro.experiments.aggregate import CellStats, bootstrap_ci, summarize
 from repro.experiments.options import EngineOptions
 from repro.machine import (
+    FAULT_MODELS,
     ErrorModel,
+    FaultModel,
+    FaultModelSpec,
     MulticoreSystem,
     ProtectionLevel,
     RunResult,
     SystemConfig,
+    fault_model_names,
+    register_fault_model,
     run_program,
 )
 from repro.quality import psnr_db, snr_db
@@ -48,10 +54,14 @@ from repro.streamit import StreamGraph, StreamProgram
 __version__ = "1.0.0"
 
 __all__ = [
+    "CellStats",
     "CommGuard",
     "CommGuardConfig",
     "EngineOptions",
     "ErrorModel",
+    "FAULT_MODELS",
+    "FaultModel",
+    "FaultModelSpec",
     "MulticoreSystem",
     "ProtectionLevel",
     "RunReport",
@@ -61,10 +71,14 @@ __all__ = [
     "SweepPoint",
     "SweepReport",
     "SystemConfig",
+    "bootstrap_ci",
+    "fault_model_names",
     "psnr_db",
+    "register_fault_model",
     "run",
     "run_program",
     "snr_db",
+    "summarize",
     "sweep",
     "__version__",
 ]

@@ -39,14 +39,16 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 from repro.apps.base import BenchmarkApp
 from repro.apps.registry import APP_BUILDERS, build_app
 from repro.core.config import CommGuardConfig
+from repro.experiments.aggregate import CellStats, summarize
 from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
 from repro.experiments.runner import RunRecord, SimulationRunner
 from repro.machine.errors import ErrorModel
+from repro.machine.faults import DEFAULT_FAULT_MODEL, FaultModelSpec
 from repro.machine.protection import ProtectionLevel
 from repro.machine.runstats import RunResult
 from repro.observability.tracer import InMemoryTracer, JsonlTracer, coerce_tracer
-from repro.quality.metrics import QUALITY_CAP_DB
+from repro.quality.metrics import QUALITY_CAP_DB, clamp_db
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observability.events import TraceEvent
@@ -158,14 +160,18 @@ def run(
     frame_scale: int = 1,
     scale: float = 1.0,
     error_model: ErrorModel | None = None,
+    fault_model: FaultModelSpec | str | None = None,
 ) -> RunReport:
     """Run one benchmark once and return a :class:`RunReport`.
 
     ``config`` supplies the CommGuard design knobs (``frame_scale`` is a
     shorthand used only when ``config`` is omitted); ``scale`` is the
     app-build input scale; ``error_model`` overrides the calibrated
-    masking/effect mix.  See the module docstring for the accepted *app*,
-    *protection* and *trace* spellings.
+    masking/effect mix.  ``fault_model`` selects the error process from
+    the registry in :mod:`repro.machine.faults` — a name or
+    ``name:param=val,...`` spec string (default ``bit_flip``, which is
+    bit-identical to the pre-registry injector).  See the module
+    docstring for the accepted *app*, *protection* and *trace* spellings.
     """
     bench = resolve_app(app, scale=scale)
     level = (
@@ -181,6 +187,7 @@ def run(
             f"vs frame_scale={frame_scale}"
         )
     rate = parse_mtbe(mtbe)
+    fault = FaultModelSpec.coerce(fault_model)
     tracer, owned = coerce_tracer(trace)
 
     spec = RunSpec(
@@ -193,6 +200,7 @@ def run(
         pad_word=config.pad_word,
         push_timeout=config.push_timeout,
         pop_timeout=config.pop_timeout,
+        fault_model=fault.canonical(),
         trace=str(owned.path) if owned is not None and owned.path else None,
     )
     runner = _runner_for(scale)
@@ -206,6 +214,7 @@ def run(
             commguard_config=config,
             error_model=error_model,
             tracer=tracer,
+            fault_model=fault.canonical(),
         )
     finally:
         if owned is not None:
@@ -302,12 +311,50 @@ class SweepReport:
         mtbe: float | str | None = None,
         cap: float = QUALITY_CAP_DB,
     ) -> float:
-        """Mean quality over the matching points, each capped at *cap*
-        (runs that reproduce the error-free output have infinite SNR)."""
+        """Mean quality over the matching points, each clamped into
+        ``[-cap, cap]`` (runs that reproduce the error-free output have
+        infinite SNR; garbled runs can report ``-inf``/NaN)."""
         points = self.select(protection=protection, mtbe=mtbe)
         if not points:
             raise ValueError("no sweep points match the given axes")
-        return sum(min(p.quality_db, cap) for p in points) / len(points)
+        return sum(clamp_db(p.quality_db, cap) for p in points) / len(points)
+
+    def quality_stats(
+        self,
+        protection: ProtectionLevel | str | None = None,
+        mtbe: float | str | None = None,
+        cap: float = QUALITY_CAP_DB,
+        confidence: float = 0.95,
+    ) -> CellStats:
+        """Multi-seed quality summary of the matching cell.
+
+        Mean, population stdev and a deterministic bootstrap CI over the
+        per-seed quality measurements, each first clamped into
+        ``[-cap, cap]`` so infinite/NaN SNRs contribute the cap/floor
+        instead of poisoning the arithmetic.  With one matching point the
+        CI degenerates to the point.
+        """
+        points = self.select(protection=protection, mtbe=mtbe)
+        if not points:
+            raise ValueError("no sweep points match the given axes")
+        return summarize(
+            [p.quality_db for p in points], cap=cap, confidence=confidence
+        )
+
+    def loss_stats(
+        self,
+        protection: ProtectionLevel | str | None = None,
+        mtbe: float | str | None = None,
+        confidence: float = 0.95,
+    ) -> CellStats:
+        """Multi-seed data-loss summary (mean/stdev/bootstrap CI of the
+        matching points' ``data_loss_ratio``)."""
+        points = self.select(protection=protection, mtbe=mtbe)
+        if not points:
+            raise ValueError("no sweep points match the given axes")
+        return summarize(
+            [p.record.data_loss_ratio for p in points], confidence=confidence
+        )
 
 
 def _parse_protection_axis(
@@ -356,6 +403,7 @@ def sweep(
     mtbes: float | str | None | Iterable[float | str | None] = None,
     seeds: int | Iterable[int] = 1,
     frame_scale: int = 1,
+    fault_model: FaultModelSpec | str | None = None,
     options: EngineOptions | None = None,
     collect_results: bool = False,
 ) -> SweepReport:
@@ -365,7 +413,10 @@ def sweep(
     int *n*, meaning seeds ``0..n-1``); every spelling :func:`run` accepts
     works here too.  ``ERROR_FREE`` ignores the error axes, so it
     contributes exactly one point (``mtbe=None``, first seed) no matter
-    how wide they are.
+    how wide they are.  ``fault_model`` selects the injected error
+    process (see :mod:`repro.machine.faults`); it applies only to
+    error-injecting points, so the error-free reference point is shared
+    (and cache-shared) across fault models.
 
     *options* is the shared :class:`~repro.experiments.EngineOptions` the
     CLI and figure harnesses use: the sweep executes on the parallel
@@ -385,6 +436,7 @@ def sweep(
     levels = _parse_protection_axis(protections)
     rates = _parse_mtbe_axis(mtbes)
     seed_values = _parse_seed_axis(seeds)
+    fault = FaultModelSpec.coerce(fault_model)
 
     specs: list[RunSpec] = []
     for level in levels:
@@ -398,6 +450,10 @@ def sweep(
                         mtbe=rate,
                         seed=seed,
                         frame_scale=frame_scale,
+                        fault_model=(
+                            DEFAULT_FAULT_MODEL if error_free or rate is None
+                            else fault.canonical()
+                        ),
                     )
                 )
 

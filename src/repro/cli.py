@@ -31,8 +31,10 @@ from repro.apps.registry import APP_ORDER
 from repro.experiments.cache import ResultCache
 from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
+from repro.experiments.aggregate import summarize
 from repro.experiments.registry import figure_names, figure_specs, resolve_figure
 from repro.experiments.report import db_or_errorfree, format_table
+from repro.machine.faults import FAULT_MODELS, FaultModelSpec, fault_model_names
 from repro.machine.protection import ProtectionLevel
 from repro.observability.tracer import read_trace, summarize_trace
 from repro.quality.metrics import QUALITY_CAP_DB
@@ -53,6 +55,14 @@ def _parse_mtbe(text: str) -> float:
     """Accept plain numbers or k/M suffixes: ``512k``, ``1M``, ``64000``."""
     try:
         return api.parse_mtbe(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _parse_fault_model(text: str) -> str:
+    """Validate a ``name[:param=val,...]`` spec; returns its canonical form."""
+    try:
+        return FaultModelSpec.parse(text).canonical()
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
@@ -103,6 +113,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("benchmarks:")
     for name in APP_ORDER:
         print(f"  {name}")
+    print("\nfault models (use with `run`/`sweep` --fault-model):")
+    for name in fault_model_names():
+        print(f"  {name:14s} {FAULT_MODELS[name].summary}")
     print("\nfigures/tables (use with `figure`):")
     _print_figure_listing()
     return 0
@@ -119,6 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         frame_scale=args.frame_scale,
         scale=args.scale,
         trace=args.trace,
+        fault_model=args.fault_model,
     )
     elapsed = time.time() - start
     app = report.app
@@ -127,6 +141,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     rows = [
         ["app", args.app],
         ["protection", protection.value],
+        ["fault model", args.fault_model],
         ["MTBE", "-" if args.mtbe is None else f"{args.mtbe:,.0f}"],
         ["seed", args.seed],
         [f"quality ({app.metric.upper()})", db_or_errorfree(report.quality_db)],
@@ -170,7 +185,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     app = runner.app(args.app)
     ladder = [_parse_mtbe(text) for text in args.mtbe]
     specs = [
-        RunSpec(app=args.app, protection=protection, mtbe=mtbe, seed=seed)
+        RunSpec(
+            app=args.app,
+            protection=protection,
+            mtbe=mtbe,
+            seed=seed,
+            fault_model=args.fault_model,
+        )
         for mtbe in ladder
         for seed in range(args.seeds)
     ]
@@ -178,17 +199,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for index, mtbe in enumerate(ladder):
         chunk = records[index * args.seeds : (index + 1) * args.seeds]
-        qualities = [min(r.quality_db, QUALITY_CAP_DB) for r in chunk]
-        losses = [r.data_loss_ratio for r in chunk]
+        quality = summarize([r.quality_db for r in chunk], cap=QUALITY_CAP_DB)
+        loss = summarize([r.data_loss_ratio for r in chunk])
         rows.append(
             [
                 f"{mtbe / 1000:.0f}k",
-                sum(qualities) / len(qualities),
-                sum(losses) / len(losses),
+                quality.format(),
+                loss.format(4),
             ]
         )
-    print(f"{args.app} under {protection.value} ({args.seeds} seeds/point)")
-    print(format_table(["MTBE", f"mean {app.metric.upper()} (dB)", "loss ratio"], rows))
+    print(
+        f"{args.app} under {protection.value} "
+        f"({args.seeds} seeds/point, fault model {args.fault_model}, "
+        f"mean ±95% CI)"
+    )
+    print(format_table(["MTBE", f"{app.metric.upper()} (dB)", "loss ratio"], rows))
     if runner.last_stats is not None:
         print(f"[sweep] {runner.last_stats.summary()}")
     if args.trace_dir is not None:
@@ -284,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--mtbe", type=_parse_mtbe, default=None,
                             help="per-core MTBE, e.g. 512k or 1M")
+    run_parser.add_argument(
+        "--fault-model", type=_parse_fault_model, default="bit_flip",
+        metavar="NAME[:P=V,...]",
+        help="fault model spec, e.g. burst:p_cluster=0.7 (see `repro list`)",
+    )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument("--frame-scale", type=int, default=1)
@@ -315,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--protection", choices=list(PROTECTION_CHOICES), default="commguard"
+    )
+    sweep_parser.add_argument(
+        "--fault-model", type=_parse_fault_model, default="bit_flip",
+        metavar="NAME[:P=V,...]",
+        help="fault model spec, e.g. burst:p_cluster=0.7 (see `repro list`)",
     )
     sweep_parser.add_argument("--seeds", type=int, default=3)
     sweep_parser.add_argument("--scale", type=float, default=0.5)

@@ -44,10 +44,16 @@ def spec_key(spec, scale: float) -> str:
     """Deterministic content key of one (spec, app-build scale) point.
 
     The ``trace`` side-output path is excluded: where a run's events are
-    streamed does not change what the run computes.
+    streamed does not change what the run computes.  The default
+    ``bit_flip`` fault model is also excluded — it is the process every
+    pre-registry run used, so omitting it keeps every existing cache key
+    (and entry) valid; non-default models key on their canonical spec
+    string.
     """
     payload = dataclasses.asdict(spec)
     payload.pop("trace", None)
+    if payload.get("fault_model") == "bit_flip":
+        del payload["fault_model"]
     payload["protection"] = spec.protection.value
     payload["scale"] = repr(float(scale))
     payload["version"] = CACHE_VERSION

@@ -9,12 +9,14 @@ MTBE = 512k (error-free baselines 35.6 dB and 9.4 dB).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.experiments.aggregate import summarize
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.plotting import quality_chart
 from repro.experiments.report import format_table
-from repro.experiments.runner import SimulationRunner, mean_stdev
+from repro.experiments.runner import SimulationRunner
 from repro.experiments.sweeps import (
     FRAME_SCALES,
     MTBE_LADDER_QUALITY,
@@ -30,6 +32,17 @@ class QualityPoint:
     frame_scale: int
     mean_db: float
     stdev_db: float
+    #: Bootstrap 95% CI bounds over the per-seed qualities; NaN when the
+    #: point was built without aggregation (legacy construction).
+    ci_lo_db: float = math.nan
+    ci_hi_db: float = math.nan
+
+    def label(self, digits: int = 2) -> str:
+        """``"20.12 ±0.85"`` when a CI is attached, else the bare mean."""
+        if math.isnan(self.ci_lo_db) or math.isnan(self.ci_hi_db):
+            return f"{self.mean_db:.{digits}f}"
+        halfwidth = (self.ci_hi_db - self.ci_lo_db) / 2.0
+        return f"{self.mean_db:.{digits}f} ±{halfwidth:.{digits}f}"
 
 
 def run_app(
@@ -41,6 +54,7 @@ def run_app(
     runner: SimulationRunner | None = None,
     jobs: int | None = None,
     cache=None,
+    fault_model: str = "bit_flip",
 ) -> list[QualityPoint]:
     """Quality per (frame scale, MTBE), one engine fan-out for the grid."""
     runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
@@ -50,7 +64,13 @@ def run_app(
     ]
     records = runner.run_specs(
         [
-            RunSpec(app=app_name, mtbe=mtbe, seed=seed, frame_scale=frame_scale)
+            RunSpec(
+                app=app_name,
+                mtbe=mtbe,
+                seed=seed,
+                frame_scale=frame_scale,
+                fault_model=fault_model,
+            )
             for frame_scale, mtbe in grid
             for seed in seeds
         ]
@@ -58,10 +78,19 @@ def run_app(
     points = []
     for index, (frame_scale, mtbe) in enumerate(grid):
         chunk = records[index * n_seeds : (index + 1) * n_seeds]
-        mean, stdev = mean_stdev(
-            [min(record.quality_db, QUALITY_CAP_DB) for record in chunk]
+        stats = summarize(
+            [record.quality_db for record in chunk], cap=QUALITY_CAP_DB
         )
-        points.append(QualityPoint(mtbe, frame_scale, mean, stdev))
+        points.append(
+            QualityPoint(
+                mtbe,
+                frame_scale,
+                stats.mean,
+                stats.stdev,
+                ci_lo_db=stats.ci_lo,
+                ci_hi_db=stats.ci_hi,
+            )
+        )
     return points
 
 
@@ -96,7 +125,7 @@ def _series_table(points: list[QualityPoint]) -> str:
         row: list[object] = [f"{mtbe // 1000}k"]
         for s in scales:
             match = [p for p in points if p.mtbe == mtbe and p.frame_scale == s]
-            row.append(match[0].mean_db if match else "-")
+            row.append(match[0].label() if match else "-")
         rows.append(row)
     return format_table(headers, rows)
 
@@ -109,8 +138,8 @@ def main(
     jpeg_base = runner.app("jpeg").baseline_quality()
     mp3_base = runner.app("mp3").baseline_quality()
     text = (
-        f"Figure 10a: jpeg PSNR vs MTBE (error-free baseline {jpeg_base:.1f} dB; "
-        "paper 35.6 dB)\n"
+        f"Figure 10a: jpeg PSNR vs MTBE, mean ±95% CI over seeds "
+        f"(error-free baseline {jpeg_base:.1f} dB; paper 35.6 dB)\n"
     )
     text += _series_table(results["jpeg"])
     text += (

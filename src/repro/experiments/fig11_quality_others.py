@@ -58,10 +58,11 @@ def main(
                 match = [
                     p for p in points if p.mtbe == mtbe and p.frame_scale == s
                 ]
-                row.append(match[0].mean_db if match else "-")
+                row.append(match[0].label() if match else "-")
             rows.append(row)
         sections.append(
-            f"Figure 11 ({app}): SNR (dB) vs MTBE\n" + format_table(headers, rows)
+            f"Figure 11 ({app}): SNR (dB) vs MTBE, mean ±95% CI over seeds\n"
+            + format_table(headers, rows)
         )
     default_series = {
         app: {p.mtbe: p.mean_db for p in points if p.frame_scale == 1}

@@ -41,6 +41,7 @@ from repro.experiments.runner import (
     mean_stdev,
 )
 from repro.machine.errors import ErrorModel
+from repro.machine.faults import FaultModelSpec, default_error_model
 from repro.machine.protection import ProtectionLevel
 from repro.observability.events import SweepProgress
 from repro.quality.metrics import QUALITY_CAP_DB
@@ -58,7 +59,14 @@ class RunSpec:
     knobs mirror :class:`~repro.core.config.CommGuardConfig`; the optional
     ``p_*`` fields override the error model's masking/effect mix (the
     ablation harness sweeps them) — all ``None`` means the calibrated
-    default model at ``mtbe``.
+    default mix of the selected fault model at ``mtbe``.
+
+    ``fault_model`` selects the error process from the registry in
+    :mod:`repro.machine.faults`, as a canonical ``name[:param=val,...]``
+    spec string (use :meth:`FaultModelSpec.canonical` — a non-canonical
+    spelling of the same model would hash to a different cache key).  The
+    default ``bit_flip`` is excluded from the content key, so every
+    pre-registry cache entry and key stays valid.
 
     The app-build ``scale`` is deliberately *not* part of the spec: it is a
     property of the runner executing it (and of the worker pool), and it is
@@ -84,6 +92,7 @@ class RunSpec:
     p_data: float | None = None
     p_control: float | None = None
     p_address: float | None = None
+    fault_model: str = "bit_flip"
     #: Optional JSONL trace destination (side output; not part of the key).
     trace: str | None = None
 
@@ -97,11 +106,18 @@ class RunSpec:
         )
 
     def error_model(self) -> ErrorModel | None:
-        """The custom error model, or ``None`` for the calibrated default."""
+        """The custom error model, or ``None`` for the calibrated default.
+
+        ``None`` lets :func:`~repro.machine.system.run_program` derive the
+        selected fault model's calibrated mix at ``mtbe``; explicit ``p_*``
+        overrides are applied on top of that same baseline.
+        """
         overrides = (self.p_masked, self.p_data, self.p_control, self.p_address)
         if all(p is None for p in overrides):
             return None
-        defaults = ErrorModel(mtbe=self.mtbe)
+        defaults = default_error_model(
+            FaultModelSpec.parse(self.fault_model), self.mtbe
+        )
         return ErrorModel(
             mtbe=self.mtbe,
             p_masked=defaults.p_masked if self.p_masked is None else self.p_masked,

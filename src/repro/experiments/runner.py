@@ -136,6 +136,7 @@ class SimulationRunner:
         commguard_config: CommGuardConfig | None = None,
         error_model: ErrorModel | None = None,
         tracer=None,
+        fault_model: str | None = None,
     ) -> tuple[RunRecord, RunResult]:
         """Run once; returns the flat record plus the raw result."""
         app = self.app(app_name)
@@ -148,6 +149,7 @@ class SimulationRunner:
             commguard_config=config,
             error_model=error_model,
             tracer=tracer,
+            fault_model=fault_model,
         )
         quality = app.quality(result)
         stats = result.commguard_stats()
@@ -207,6 +209,7 @@ class SimulationRunner:
                 commguard_config=spec.commguard_config(),
                 error_model=spec.error_model(),
                 tracer=tracer,
+                fault_model=getattr(spec, "fault_model", None),
             )
         finally:
             if owned is not None:
@@ -268,9 +271,12 @@ def mean_stdev(values: Sequence[float]) -> tuple[float, float]:
 
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean, tolerating zeros by epsilon-flooring (as overhead
-    figures conventionally do).  An empty input has no mean: returns
-    ``nan`` rather than raising, so partial sweeps render as blanks."""
-    floored = [max(v, 1e-12) for v in values]
+    figures conventionally do).  Non-finite entries are skipped — a NaN
+    (e.g. a confidence bound clamped against ``QUALITY_CAP_DB``) or an
+    infinity must not poison a whole table cell.  An input with no finite
+    values has no mean: returns ``nan`` rather than raising, so partial
+    sweeps render as blanks."""
+    floored = [max(v, 1e-12) for v in values if math.isfinite(v)]
     if not floored:
         return math.nan
     return math.exp(sum(math.log(v) for v in floored) / len(floored))

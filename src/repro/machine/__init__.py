@@ -13,6 +13,14 @@ run loop (:mod:`system`) with four protection levels (:mod:`protection`).
 """
 
 from repro.machine.errors import ErrorEvent, ErrorKind, ErrorInjector, ErrorModel
+from repro.machine.faults import (
+    FAULT_MODELS,
+    FaultModel,
+    FaultModelSpec,
+    fault_model_names,
+    register_fault_model,
+    resolve_fault_model,
+)
 from repro.machine.ppu import PPUModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.queues import ReliableQueue, SoftwareQueue
@@ -24,6 +32,9 @@ __all__ = [
     "ErrorInjector",
     "ErrorKind",
     "ErrorModel",
+    "FAULT_MODELS",
+    "FaultModel",
+    "FaultModelSpec",
     "MulticoreSystem",
     "PPUModel",
     "ProtectionLevel",
@@ -31,5 +42,8 @@ __all__ = [
     "RunResult",
     "SoftwareQueue",
     "SystemConfig",
+    "fault_model_names",
+    "register_fault_model",
+    "resolve_fault_model",
     "run_program",
 ]

@@ -93,7 +93,21 @@ class ErrorInjector:
     the injector returns the errors that landed inside each advance.  Each
     core owns an independent :class:`random.Random` stream, so the MTBE is
     per core, not per machine (Section 6).
+
+    This class is also the ``bit_flip`` fault model of the plugin registry
+    in :mod:`repro.machine.faults`; other models subclass it and override
+    the :meth:`_arrival` / :meth:`_effect` hooks (or just ship a different
+    calibrated :class:`ErrorModel` mix).  The default model's RNG call
+    sequence is frozen: results, cache keys and trace bytes of ``bit_flip``
+    runs must never change.
     """
+
+    #: Registry name of the fault model this injector implements.  The
+    #: default ``bit_flip`` traces and aggregates without a model tag (the
+    #: legacy encoding, kept byte-identical); subclasses override this and
+    #: their identity is carried on every ``ErrorInjected`` event and on
+    #: the error metrics labels.
+    fault_name = "bit_flip"
 
     def __init__(
         self,
@@ -127,19 +141,38 @@ class ErrorInjector:
         events: list[ErrorEvent] = []
         self._countdown -= instructions
         while self._countdown <= 0:
-            self.errors_injected += 1
-            if self.rng.random() < self.model.p_masked:
-                self.errors_masked += 1  # flip hit a dead register
-                if self.tracer is not None:
-                    self._trace(None)
-            else:
-                kind = self._draw_kind()
-                self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
-                events.append(ErrorEvent(kind=kind, at_instruction=self.clock))
-                if self.tracer is not None:
-                    self._trace(kind)
+            self._arrival(events)
             self._countdown += self._draw_gap()
         return events
+
+    def _arrival(self, events: list[ErrorEvent]) -> None:
+        """One error arrival: draw masking, then the architectural effect.
+
+        Subclasses may inject additional flips per arrival (bursts) or
+        remember the effect (stuck-at faults), but the base implementation's
+        RNG draw order is load-bearing: it is what makes ``bit_flip`` runs
+        bit-identical to the pre-registry injector.
+        """
+        self.errors_injected += 1
+        if self.rng.random() < self.model.p_masked:
+            self.errors_masked += 1  # flip hit a dead register
+            if self.tracer is not None:
+                self._trace(None)
+        else:
+            self._effect(self._draw_kind(), events)
+
+    def _effect(self, kind: ErrorKind, events: list[ErrorEvent]) -> None:
+        """Record one unmasked error of *kind* at the current clock."""
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+        events.append(ErrorEvent(kind=kind, at_instruction=self.clock))
+        if self.tracer is not None:
+            self._trace(kind)
+
+    @property
+    def _model_tag(self) -> str | None:
+        """Model identity carried on trace events (``None`` = legacy
+        ``bit_flip`` encoding, keeping default traces byte-identical)."""
+        return None if self.fault_name == "bit_flip" else self.fault_name
 
     def _trace(self, kind: ErrorKind | None) -> None:
         self.tracer.emit(
@@ -148,6 +181,7 @@ class ErrorInjector:
                 at_instruction=self.clock,
                 effect=None if kind is None else kind.value,
                 masked=kind is None,
+                model=self._model_tag,
             )
         )
 

@@ -26,7 +26,8 @@ from repro.core.config import CommGuardConfig
 from repro.core.guard import CommGuard
 from repro.core.queue_manager import GuardedQueue, plan_geometry
 from repro.machine.core import SimCore
-from repro.machine.errors import ErrorInjector, ErrorKind, ErrorModel
+from repro.machine.errors import ErrorKind, ErrorModel
+from repro.machine.faults import FaultModelSpec, build_injector, default_error_model
 from repro.machine.ppu import PPUModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.queues import RawQueue, ReliableQueue, SoftwareQueue
@@ -58,6 +59,12 @@ class SystemConfig:
     :class:`~repro.machine.thread.NodeThread` (bulk queue operations for
     the words of a firing that cannot block); it changes wall-clock time
     only, never results or trace bytes.
+
+    ``fault_model`` selects the error process from the registry in
+    :mod:`repro.machine.faults`, in ``name[:param=val,...]`` spec syntax.
+    The default ``bit_flip`` is bit-identical to the pre-registry
+    injector.  An explicit ``fault_model`` argument to
+    :meth:`MulticoreSystem.build` / :func:`run_program` overrides it.
     """
 
     n_cores: int = 10
@@ -68,6 +75,7 @@ class SystemConfig:
     max_sweeps: int = 50_000_000
     scheduler: str = "event"
     batch_ops: bool = True
+    fault_model: str = "bit_flip"
 
 
 class MulticoreSystem:
@@ -105,6 +113,7 @@ class MulticoreSystem:
         ppu: PPUModel | None = None,
         edge_frame_scales: dict[int, int] | None = None,
         tracer=None,
+        fault_model: FaultModelSpec | str | None = None,
     ) -> "MulticoreSystem":
         """Build a runnable machine.
 
@@ -114,11 +123,17 @@ class MulticoreSystem:
         ``tracer`` is an optional :class:`repro.observability.Tracer`; when
         given, every module (injectors, AMs, HI, queues, threads) emits
         structured events into it.  ``None`` keeps the hot paths untouched.
+        ``fault_model`` selects the error process from the registry in
+        :mod:`repro.machine.faults` (``None`` defers to
+        ``system_config.fault_model``, itself defaulting to ``bit_flip``).
         """
         config = system_config or SystemConfig()
         cg_config = commguard_config or CommGuardConfig()
         edge_frame_scales = edge_frame_scales or {}
         ppu = ppu or PPUModel()
+        fault = FaultModelSpec.coerce(
+            fault_model if fault_model is not None else config.fault_model
+        )
         if protection is ProtectionLevel.ERROR_FREE:
             error_model = ErrorModel.error_free()
         elif error_model is None:
@@ -128,7 +143,7 @@ class MulticoreSystem:
         graph.reset()
         assignment = partition_graph(graph, config.n_cores, program.frames)
         injectors = {
-            core_id: ErrorInjector(error_model, seed, core_id, tracer=tracer)
+            core_id: build_injector(fault, error_model, seed, core_id, tracer)
             for core_id in range(config.n_cores)
         }
 
@@ -232,17 +247,34 @@ class MulticoreSystem:
         metrics = result.metrics
         for core in self.cores:
             injector = core.injector
+            # The default bit_flip model keeps the legacy unlabelled
+            # encoding (bit-identical RunResults); other models carry
+            # their registry identity on every error series.
+            model_label = (
+                {} if injector.fault_name == "bit_flip"
+                else {"model": injector.fault_name}
+            )
             if injector.errors_injected:
                 metrics.inc(
-                    "errors_injected", injector.errors_injected, core=core.core_id
+                    "errors_injected",
+                    injector.errors_injected,
+                    core=core.core_id,
+                    **model_label,
                 )
             if injector.errors_masked:
                 metrics.inc(
-                    "errors_masked", injector.errors_masked, core=core.core_id
+                    "errors_masked",
+                    injector.errors_masked,
+                    core=core.core_id,
+                    **model_label,
                 )
             for kind, count in injector.errors_by_kind.items():
                 metrics.inc(
-                    "errors_effective", count, core=core.core_id, kind=kind.value
+                    "errors_effective",
+                    count,
+                    core=core.core_id,
+                    kind=kind.value,
+                    **model_label,
                 )
             for thread in core.threads:
                 name = thread.node.name
@@ -287,15 +319,24 @@ def run_program(
     system_config: SystemConfig | None = None,
     error_model: ErrorModel | None = None,
     tracer=None,
+    fault_model: FaultModelSpec | str | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a system and run it once.
 
     ``mtbe`` is the per-core mean instructions between errors (ignored for
     ``ERROR_FREE``); pass ``error_model`` instead for a custom effect mix.
-    ``tracer`` optionally receives structured events from every module.
+    ``fault_model`` selects the error process (``name[:param=val,...]``;
+    default ``bit_flip``) — when ``error_model`` is omitted, the model's
+    calibrated mix at ``mtbe`` is used.  ``tracer`` optionally receives
+    structured events from every module.
     """
+    fault = FaultModelSpec.coerce(
+        fault_model
+        if fault_model is not None
+        else (system_config.fault_model if system_config is not None else None)
+    )
     if error_model is None and protection.injects_errors:
-        error_model = ErrorModel(mtbe=mtbe)
+        error_model = default_error_model(fault, mtbe)
     system = MulticoreSystem.build(
         program,
         protection,
@@ -304,5 +345,6 @@ def run_program(
         commguard_config=commguard_config,
         system_config=system_config,
         tracer=tracer,
+        fault_model=fault,
     )
     return system.run()

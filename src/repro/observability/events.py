@@ -46,6 +46,11 @@ class ErrorInjected(TraceEvent):
 
     ``effect`` is the architectural-effect class (``data`` / ``control`` /
     ``address``) or ``None`` when the flip was architecturally masked.
+    ``model`` is the fault-model identity from the registry in
+    :mod:`repro.machine.faults` (``"burst"``, ``"sticky"``, ...); it is
+    ``None`` — and omitted from the JSON encoding — for the default
+    ``bit_flip`` model, so default-model traces stay byte-identical to
+    traces written before the registry existed.
     """
 
     kind: ClassVar[str] = "error-injected"
@@ -54,6 +59,15 @@ class ErrorInjected(TraceEvent):
     at_instruction: int
     effect: str | None
     masked: bool
+    model: str | None = None
+
+    def to_dict(self) -> dict:
+        # Explicit base call: zero-arg super() is unusable in a
+        # slots=True dataclass (the decorator rebuilds the class).
+        data = TraceEvent.to_dict(self)
+        if data["model"] is None:
+            del data["model"]  # legacy encoding for the default model
+        return data
 
 
 @dataclass(frozen=True, slots=True)

@@ -14,6 +14,25 @@ import numpy as np
 QUALITY_CAP_DB = 96.0
 
 
+def clamp_db(value: float, cap: float = QUALITY_CAP_DB) -> float:
+    """Clamp a quality measurement into the conventional ``[-cap, cap]`` band.
+
+    ``inf`` (bit-identical output) and anything above *cap* clamp to the
+    error-free ceiling; ``-inf`` and ``NaN`` (no usable signal — e.g. an
+    all-zero reference window) clamp to the floor.  Aggregates built from
+    clamped values stay finite, so a confidence-interval bound that hits
+    the cap renders as the cap instead of propagating ``nan`` through
+    mean/stdev arithmetic (``inf - inf``) into sweep tables.
+    """
+    if math.isnan(value):
+        return -cap
+    if value > cap:
+        return cap
+    if value < -cap:
+        return -cap
+    return value
+
+
 def align_lengths(
     reference: Sequence[float] | np.ndarray,
     measured: Sequence[float] | np.ndarray,

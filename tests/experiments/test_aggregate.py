@@ -1,0 +1,132 @@
+"""Tests for multi-seed aggregation (`repro.experiments.aggregate`) and
+the quality-cap clamping that keeps CI bounds finite."""
+
+import math
+
+import pytest
+
+from repro.experiments.aggregate import CellStats, bootstrap_ci, summarize
+from repro.experiments.runner import geometric_mean
+from repro.quality.metrics import QUALITY_CAP_DB, clamp_db
+
+
+class TestClampDb:
+    def test_passthrough_in_band(self):
+        assert clamp_db(20.5) == 20.5
+        assert clamp_db(-20.5) == -20.5
+
+    def test_infinities_clamp_to_cap(self):
+        assert clamp_db(math.inf) == QUALITY_CAP_DB
+        assert clamp_db(-math.inf) == -QUALITY_CAP_DB
+
+    def test_nan_clamps_to_floor(self):
+        assert clamp_db(math.nan) == -QUALITY_CAP_DB
+
+    def test_finite_overflow_clamps(self):
+        assert clamp_db(500.0) == QUALITY_CAP_DB
+        assert clamp_db(-500.0) == -QUALITY_CAP_DB
+
+    def test_custom_cap(self):
+        assert clamp_db(80.0, cap=50.0) == 50.0
+
+
+class TestBootstrapCi:
+    def test_deterministic(self):
+        values = [18.0, 19.5, 21.0, 17.2, 20.3]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_single_value_degenerates_to_point(self):
+        assert bootstrap_ci([42.0]) == (42.0, 42.0)
+
+    def test_interval_brackets_the_mean(self):
+        values = [10.0, 12.0, 14.0, 16.0, 18.0]
+        lo, hi = bootstrap_ci(values)
+        mean = sum(values) / len(values)
+        assert lo <= mean <= hi
+        assert lo < hi
+
+    def test_interval_within_data_range(self):
+        values = [5.0, 6.0, 7.0]
+        lo, hi = bootstrap_ci(values)
+        assert min(values) <= lo and hi <= max(values)
+
+    def test_wider_confidence_widens_interval(self):
+        values = [10.0, 12.0, 14.0, 16.0, 18.0, 11.0, 13.0]
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99)
+        lo80, hi80 = bootstrap_ci(values, confidence=0.80)
+        assert hi99 - lo99 >= hi80 - lo80
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=confidence)
+
+    def test_identical_values_zero_width(self):
+        assert bootstrap_ci([7.0, 7.0, 7.0, 7.0]) == (7.0, 7.0)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([2.0, 4.0, 6.0])
+        assert stats.n == 3
+        assert stats.mean == 4.0
+        assert stats.stdev == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cap_keeps_infinite_quality_finite(self):
+        """The satellite-6 bug: an inf quality (error-free reproduction)
+        must contribute the cap, never poison mean/stdev with inf-inf."""
+        stats = summarize([math.inf, 20.0, math.inf], cap=QUALITY_CAP_DB)
+        assert math.isfinite(stats.mean)
+        assert math.isfinite(stats.stdev)
+        assert stats.mean == pytest.approx((96.0 + 20.0 + 96.0) / 3)
+
+    def test_ci_bound_at_cap_is_the_cap_not_nan(self):
+        stats = summarize([math.inf, math.inf, math.inf], cap=QUALITY_CAP_DB)
+        assert stats.ci_lo == QUALITY_CAP_DB
+        assert stats.ci_hi == QUALITY_CAP_DB
+        assert stats.stdev == 0.0
+
+    def test_floor_for_garbled_runs(self):
+        stats = summarize([-math.inf, math.nan], cap=QUALITY_CAP_DB)
+        assert stats.mean == -QUALITY_CAP_DB
+        assert math.isfinite(stats.ci_lo)
+
+    def test_no_cap_leaves_values_alone(self):
+        stats = summarize([1.0, 3.0])
+        assert stats.mean == 2.0
+
+
+class TestCellStats:
+    def test_halfwidth_and_format(self):
+        stats = CellStats(n=3, mean=18.321, stdev=1.0, ci_lo=17.4, ci_hi=19.1)
+        assert stats.ci_halfwidth == pytest.approx(0.85)
+        assert stats.format() == "18.32 ±0.85"
+        assert stats.format(digits=1) == "18.3 ±0.9"
+
+
+class TestGeometricMean:
+    def test_plain(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_zero_floors_instead_of_crashing(self):
+        assert geometric_mean([0.0, 4.0]) > 0.0
+
+    def test_skips_non_finite_entries(self):
+        """A NaN or inf cell (e.g. a pre-clamp CI bound) must not poison
+        the whole table cell."""
+        assert geometric_mean([2.0, math.nan, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([2.0, math.inf, 8.0]) == pytest.approx(4.0)
+
+    def test_all_non_finite_is_nan(self):
+        assert math.isnan(geometric_mean([math.nan, math.inf]))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))

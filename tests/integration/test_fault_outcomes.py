@@ -1,0 +1,146 @@
+"""End-to-end fault-model behaviour through the public API.
+
+Two contracts from the fault-model subsystem's design:
+
+* **bit_flip bit-identity** — selecting the default model explicitly
+  changes nothing: same ``RunRecord``, same sweep cache keys, byte-
+  identical JSONL traces (which also keep the pre-registry ``model``-less
+  event encoding).
+* **Models change outcomes** — each non-default model produces a
+  different run than ``bit_flip`` at the same point, and ``control_flow``
+  demonstrates the paper's Section 2 argument end to end: catastrophic
+  without CommGuard, tolerable with it.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.experiments.cache import spec_key
+from repro.experiments.parallel import RunSpec
+from repro.machine.protection import ProtectionLevel
+
+FFT = dict(mtbe=100_000, seed=3, scale=0.1)
+
+
+class TestBitFlipBitIdentity:
+    def test_explicit_default_matches_implicit(self):
+        implicit = api.run("fft", "commguard", **FFT)
+        explicit = api.run("fft", "commguard", fault_model="bit_flip", **FFT)
+        assert implicit.record == explicit.record
+        assert implicit.spec == explicit.spec
+
+    def test_cache_key_unchanged_by_default_model(self):
+        base = RunSpec(app="fft", protection=ProtectionLevel.COMMGUARD,
+                       mtbe=100_000.0, seed=3)
+        explicit = RunSpec(app="fft", protection=ProtectionLevel.COMMGUARD,
+                           mtbe=100_000.0, seed=3, fault_model="bit_flip")
+        assert base.fault_model == "bit_flip"
+        assert spec_key(base, 0.1) == spec_key(explicit, 0.1)
+
+    def test_nondefault_model_gets_its_own_cache_key(self):
+        base = RunSpec(app="fft", protection=ProtectionLevel.COMMGUARD,
+                       mtbe=100_000.0, seed=3)
+        burst = RunSpec(app="fft", protection=ProtectionLevel.COMMGUARD,
+                        mtbe=100_000.0, seed=3, fault_model="burst")
+        tuned = RunSpec(app="fft", protection=ProtectionLevel.COMMGUARD,
+                        mtbe=100_000.0, seed=3,
+                        fault_model="burst:max_len=4,p_cluster=0.7")
+        keys = {spec_key(s, 0.1) for s in (base, burst, tuned)}
+        assert len(keys) == 3
+
+    def test_trace_bytes_identical_and_model_free(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        api.run("fft", "commguard", trace=str(a), **FFT)
+        api.run("fft", "commguard", trace=str(b), fault_model="bit_flip", **FFT)
+        data = a.read_bytes()
+        assert data == b.read_bytes()
+        assert b'"model"' not in data  # pre-registry event encoding
+
+    def test_nondefault_traces_carry_model_identity(self, tmp_path):
+        path = tmp_path / "burst.jsonl"
+        api.run("fft", "commguard", trace=str(path), fault_model="burst", **FFT)
+        error_lines = [
+            line for line in path.read_text().splitlines()
+            if '"error-injected"' in line
+        ]
+        assert error_lines
+        assert all('"model": "burst"' in line for line in error_lines)
+
+    def test_metrics_labelled_only_for_nondefault(self):
+        default = api.run("fft", "commguard", **FFT)
+        burst = api.run("fft", "commguard", fault_model="burst", **FFT)
+        def has_model_label(report):
+            counters = report.result.metrics.as_dict()["counters"]
+            labels = counters["errors_injected"]
+            return all("model=burst" in key for key in labels)
+        default_labels = default.result.metrics.as_dict()["counters"]["errors_injected"]
+        assert all("model=" not in key for key in default_labels)
+        assert has_model_label(burst)
+
+
+class TestModelsChangeOutcomes:
+    @pytest.mark.parametrize(
+        "spec", ["burst", "control_flow", "queue_state", "sticky:dwell=50000"]
+    )
+    def test_each_model_differs_from_bit_flip(self, spec):
+        base = api.run("fft", "ppu-only", **FFT)
+        model = api.run("fft", "ppu-only", fault_model=spec, **FFT)
+        assert model.record != base.record
+
+    @pytest.mark.parametrize(
+        "spec", ["burst", "control_flow", "queue_state", "sticky:dwell=50000"]
+    )
+    def test_each_model_deterministic_end_to_end(self, spec):
+        a = api.run("fft", "commguard", fault_model=spec, **FFT)
+        b = api.run("fft", "commguard", fault_model=spec, **FFT)
+        assert a.record == b.record
+
+    def test_control_flow_catastrophic_unguarded_tolerable_guarded(self):
+        """The paper's Section 2 dichotomy, reproduced under the
+        control-flow fault model: push/pop drift garbles an unguarded
+        run's output permanently, while CommGuard realigns it."""
+        guarded = api.run("fft", "commguard",
+                          fault_model="control_flow", **FFT)
+        unguarded = api.run("fft", "ppu-reliable-queue",
+                            fault_model="control_flow", **FFT)
+        assert guarded.quality_db > 15.0       # tolerable
+        assert unguarded.quality_db < 5.0      # catastrophic
+        # The same point under plain bit flips is benign even unguarded —
+        # the *model*, not the rate, drives the failure.
+        bit_flip = api.run("fft", "ppu-reliable-queue", **FFT)
+        assert bit_flip.quality_db > 100.0
+
+
+class TestSweepAggregation:
+    def test_sweep_reports_confidence_intervals(self):
+        report = api.sweep(
+            "fft", ["ppu_only", "commguard"], mtbes=["100k"], seeds=3,
+            fault_model="control_flow",
+            options=api.EngineOptions(scale=0.1, cache=False),
+        )
+        for level in report.protections:
+            stats = report.quality_stats(protection=level, mtbe="100k")
+            assert stats.n == 3
+            assert stats.ci_lo <= stats.mean <= stats.ci_hi
+        loss = report.loss_stats(protection="commguard", mtbe="100k")
+        assert loss.n == 3
+        assert 0.0 <= loss.mean <= 1.0
+
+    def test_ci_is_deterministic(self):
+        def stats():
+            report = api.sweep(
+                "fft", "commguard", mtbes=["100k"], seeds=3,
+                options=api.EngineOptions(scale=0.1, cache=False),
+            )
+            return report.quality_stats(mtbe="100k")
+        assert stats() == stats()
+
+    def test_error_free_point_shares_default_model(self):
+        report = api.sweep(
+            "fft", ["error_free", "commguard"], mtbes=["100k"], seeds=2,
+            fault_model="burst",
+            options=api.EngineOptions(scale=0.1, cache=False),
+        )
+        for point in report.points:
+            expected = "bit_flip" if point.spec.mtbe is None else "burst"
+            assert point.spec.fault_model == expected

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.machine.errors import ErrorInjector, ErrorKind, ErrorModel
+from repro.observability.tracer import InMemoryTracer
 
 
 class TestErrorModel:
@@ -10,17 +11,36 @@ class TestErrorModel:
         model = ErrorModel.error_free()
         assert not model.enabled
 
-    def test_rejects_nonpositive_mtbe(self):
-        with pytest.raises(ValueError):
-            ErrorModel(mtbe=0)
+    def test_error_free_invariants(self):
+        model = ErrorModel.error_free()
+        assert model.mtbe is None
+        # The mix fields keep their calibrated defaults even when disabled,
+        # so an error-free model can be re-armed by replacing just mtbe.
+        assert model.p_masked == 0.80
+        assert model.p_data + model.p_control + model.p_address == 1.0
 
-    def test_rejects_bad_masking(self):
-        with pytest.raises(ValueError):
-            ErrorModel(mtbe=1000, p_masked=1.0)
+    @pytest.mark.parametrize("mtbe", [0, -1, -512_000])
+    def test_rejects_nonpositive_mtbe(self, mtbe):
+        with pytest.raises(ValueError, match="mtbe must be positive"):
+            ErrorModel(mtbe=mtbe)
+
+    @pytest.mark.parametrize("p_masked", [1.0, 1.5, -0.01])
+    def test_rejects_bad_masking(self, p_masked):
+        with pytest.raises(ValueError, match="p_masked"):
+            ErrorModel(mtbe=1000, p_masked=p_masked)
+
+    def test_accepts_boundary_masking(self):
+        assert ErrorModel(mtbe=1000, p_masked=0.0).p_masked == 0.0
+        assert ErrorModel(mtbe=1000, p_masked=0.999).p_masked == 0.999
 
     def test_rejects_unnormalized_mix(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="sum to"):
             ErrorModel(mtbe=1000, p_data=0.5, p_control=0.5, p_address=0.5)
+
+    def test_mix_sum_tolerates_float_rounding(self):
+        # 0.1+0.2+0.7 != 1.0 exactly in binary; must still validate.
+        model = ErrorModel(mtbe=1000, p_data=0.1, p_control=0.2, p_address=0.7)
+        assert model.enabled
 
 
 class TestInjector:
@@ -87,3 +107,71 @@ class TestInjector:
         events = injector.advance(500)
         for event in events:
             assert event.at_instruction == injector.clock
+
+    def test_expovariate_stream_deterministic(self):
+        """The gap sequence is a pure function of (seed, core) — the
+        foundation of per-seed reproducibility and cache validity."""
+        model = ErrorModel(mtbe=1234)
+        a = ErrorInjector(model, seed=6, core_id=3)
+        b = ErrorInjector(model, seed=6, core_id=3)
+        assert a._countdown == b._countdown  # the constructor's first draw
+        assert [a._draw_gap() for _ in range(5)] == [
+            b._draw_gap() for _ in range(5)
+        ]
+        # a different seed or core yields a different stream
+        c = ErrorInjector(model, seed=7, core_id=3)
+        d = ErrorInjector(model, seed=6, core_id=4)
+        assert len({a._countdown, c._countdown, d._countdown}) == 3
+
+    def test_error_free_consumes_no_rng(self):
+        injector = ErrorInjector(ErrorModel.error_free(), seed=0, core_id=0)
+        state_before = injector.rng.getstate()
+        injector.advance(1_000_000)
+        assert injector.rng.getstate() == state_before
+
+    def test_advance_zero_is_a_noop(self):
+        injector = ErrorInjector(ErrorModel(mtbe=100), seed=0, core_id=0)
+        assert injector.advance(0) == []
+        assert injector.clock == 0
+
+    def test_counters_partition_injections(self):
+        injector = ErrorInjector(ErrorModel(mtbe=300), seed=11, core_id=1)
+        events = injector.advance(500_000)
+        effective = sum(injector.errors_by_kind.values())
+        assert injector.errors_masked + effective == injector.errors_injected
+        assert len(events) == effective
+
+
+class TestInjectorTracing:
+    """Injection-count contracts against `ErrorInjected` trace events."""
+
+    def test_every_injection_traced_masked_included(self):
+        tracer = InMemoryTracer()
+        injector = ErrorInjector(
+            ErrorModel(mtbe=400), seed=4, core_id=6, tracer=tracer
+        )
+        events = injector.advance(600_000)
+        traced = tracer.of_kind("error-injected")
+        assert len(traced) == injector.errors_injected
+        masked = [e for e in traced if e.masked]
+        unmasked = [e for e in traced if not e.masked]
+        assert len(masked) == injector.errors_masked
+        assert len(unmasked) == len(events)
+        assert all(e.effect is None for e in masked)
+        assert all(e.core == 6 for e in traced)
+
+    def test_traced_effects_match_event_kinds(self):
+        tracer = InMemoryTracer()
+        injector = ErrorInjector(
+            ErrorModel(mtbe=200, p_masked=0.0), seed=8, core_id=0, tracer=tracer
+        )
+        events = injector.advance(100_000)
+        traced = tracer.of_kind("error-injected")
+        assert [e.effect for e in traced] == [e.kind.value for e in events]
+
+    def test_tracing_consumes_no_rng(self):
+        untraced = ErrorInjector(ErrorModel(mtbe=250), seed=3, core_id=2)
+        traced = ErrorInjector(
+            ErrorModel(mtbe=250), seed=3, core_id=2, tracer=InMemoryTracer()
+        )
+        assert untraced.advance(400_000) == traced.advance(400_000)

@@ -1,0 +1,284 @@
+"""Tests for the pluggable fault-model registry (`repro.machine.faults`).
+
+Covers the spec syntax, the registry plugin API, per-model determinism,
+the counting contracts against trace events, and — most load-bearing —
+the ``bit_flip`` bit-identity contract: the default model must reproduce
+the pre-registry injector exactly (results, cache keys, trace bytes).
+"""
+
+import json
+
+import pytest
+
+from repro.machine.errors import ErrorInjector, ErrorKind, ErrorModel
+from repro.machine.faults import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    BurstInjector,
+    FaultModel,
+    FaultModelSpec,
+    StickyInjector,
+    build_injector,
+    default_error_model,
+    fault_model_names,
+    register_fault_model,
+    resolve_fault_model,
+)
+from repro.observability.tracer import InMemoryTracer
+
+ALL_MODELS = ("bit_flip", "burst", "control_flow", "queue_state", "sticky")
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        spec = FaultModelSpec.parse("burst")
+        assert spec.name == "burst"
+        assert spec.params == ()
+
+    def test_params_parsed_and_sorted(self):
+        spec = FaultModelSpec.parse("burst:p_cluster=0.7,max_len=4")
+        assert spec.params == (("max_len", 4.0), ("p_cluster", 0.7))
+
+    def test_canonical_is_order_independent(self):
+        a = FaultModelSpec.parse("burst:p_cluster=0.7,max_len=4")
+        b = FaultModelSpec.parse("burst:max_len=4,p_cluster=0.7")
+        assert a == b
+        assert a.canonical() == b.canonical() == "burst:max_len=4,p_cluster=0.7"
+
+    def test_dashes_normalize_to_underscores(self):
+        assert FaultModelSpec.parse("control-flow").name == "control_flow"
+
+    def test_whitespace_tolerated(self):
+        spec = FaultModelSpec.parse("  burst : max_len=2 ")
+        assert spec.name == "burst"
+        assert spec.param("max_len", 0) == 2.0
+
+    def test_unknown_model_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="bit_flip.*burst"):
+            FaultModelSpec.parse("meteor_strike")
+
+    def test_unknown_param_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="no parameter 'dwell'"):
+            FaultModelSpec.parse("burst:dwell=5")
+
+    def test_mix_params_accepted_by_every_model(self):
+        for name in ALL_MODELS:
+            spec = FaultModelSpec.parse(f"{name}:p_masked=0.5")
+            assert spec.param("p_masked", None) == 0.5
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultModelSpec.parse("burst:p_cluster")
+
+    def test_unparsable_value_rejected(self):
+        with pytest.raises(ValueError, match="unparsable"):
+            FaultModelSpec.parse("burst:p_cluster=high")
+
+    def test_coerce_none_is_default(self):
+        spec = FaultModelSpec.coerce(None)
+        assert spec.is_default
+        assert spec.canonical() == DEFAULT_FAULT_MODEL
+
+    def test_coerce_passthrough_and_string(self):
+        spec = FaultModelSpec(name="sticky", params=(("dwell", 5.0),))
+        assert FaultModelSpec.coerce(spec) is spec
+        assert FaultModelSpec.coerce("sticky:dwell=5") == spec
+
+    def test_default_with_params_is_not_default(self):
+        assert not FaultModelSpec.parse("bit_flip:p_masked=0.5").is_default
+
+    def test_hashable_for_frozen_specs(self):
+        assert len({FaultModelSpec.parse("burst"), FaultModelSpec.parse("burst")}) == 1
+
+
+class TestRegistry:
+    def test_builtins_registered_default_first(self):
+        assert fault_model_names() == ALL_MODELS
+
+    def test_refuses_to_shadow_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_model(FaultModel(name="bit_flip", summary="evil"))
+
+    def test_replace_and_custom_registration(self):
+        model = FaultModel(
+            name="test_custom",
+            summary="test-only",
+            injector_cls=ErrorInjector,
+            mix={"p_data": 1.0, "p_control": 0.0, "p_address": 0.0},
+        )
+        try:
+            register_fault_model(model)
+            assert "test_custom" in fault_model_names()
+            register_fault_model(model, replace=True)  # no error
+            assert resolve_fault_model("test_custom") is model
+        finally:
+            FAULT_MODELS.pop("test_custom", None)
+
+    def test_rejects_unknown_mix_fields(self):
+        with pytest.raises(ValueError, match="unknown mix fields"):
+            register_fault_model(
+                FaultModel(name="test_bad", summary="x", mix={"p_chaos": 1.0})
+            )
+        assert "test_bad" not in FAULT_MODELS
+
+    def test_every_builtin_mix_is_a_valid_error_model(self):
+        for name in ALL_MODELS:
+            model = default_error_model(name, mtbe=100_000)
+            assert model.enabled
+
+
+class TestErrorModelRouting:
+    def test_default_is_exactly_the_base_model(self):
+        assert default_error_model(None, 512_000) == ErrorModel(mtbe=512_000)
+        assert default_error_model("bit_flip", 512_000) == ErrorModel(mtbe=512_000)
+
+    def test_model_mix_applied(self):
+        model = default_error_model("control_flow", 512_000)
+        assert model.p_control == 0.75
+
+    def test_spec_mix_params_override_model_mix(self):
+        model = default_error_model("control_flow:p_masked=0.5", 512_000)
+        assert model.p_masked == 0.5
+        assert model.p_control == 0.75
+
+    def test_declared_params_routed_to_constructor(self):
+        injector = build_injector(
+            "burst:p_cluster=0.25,max_len=3", ErrorModel(mtbe=1000), seed=0, core_id=0
+        )
+        assert isinstance(injector, BurstInjector)
+        assert injector.p_cluster == 0.25
+        assert injector.max_len == 3
+
+    def test_constructor_validation_still_applies(self):
+        with pytest.raises(ValueError, match="p_cluster"):
+            build_injector("burst:p_cluster=1.5", ErrorModel(mtbe=1000), 0, 0)
+        with pytest.raises(ValueError, match="dwell"):
+            build_injector("sticky:dwell=-1", ErrorModel(mtbe=1000), 0, 0)
+
+
+def _drive(spec: str, instructions=400_000, step=1_000, seed=7, tracer=None):
+    model = default_error_model(spec, mtbe=2_000)
+    injector = build_injector(spec, model, seed=seed, core_id=2, tracer=tracer)
+    events = []
+    for _ in range(instructions // step):
+        events.extend(injector.advance(step))
+    return injector, events
+
+
+class TestInjectorBehaviour:
+    def test_bit_flip_identical_to_raw_injector(self):
+        """The registry path constructs exactly the pre-registry process."""
+        registry, via_registry = _drive("bit_flip")
+        raw = ErrorInjector(ErrorModel(mtbe=2_000), seed=7, core_id=2)
+        direct = []
+        for _ in range(400):
+            direct.extend(raw.advance(1_000))
+        assert via_registry == direct
+        assert registry.errors_injected == raw.errors_injected
+        assert registry.errors_masked == raw.errors_masked
+        assert registry.errors_by_kind == raw.errors_by_kind
+
+    @pytest.mark.parametrize("spec", ALL_MODELS + ("burst:p_cluster=0.9,max_len=3",))
+    def test_deterministic_per_spec_and_seed(self, spec):
+        _, a = _drive(spec)
+        _, b = _drive(spec)
+        assert a == b
+
+    @pytest.mark.parametrize("spec", ("burst", "control_flow", "queue_state", "sticky"))
+    def test_models_differ_from_bit_flip(self, spec):
+        _, base = _drive("bit_flip")
+        injector, events = _drive(spec)
+        assert [(e.kind, e.at_instruction) for e in events] != [
+            (e.kind, e.at_instruction) for e in base
+        ]
+
+    def test_burst_injects_clusters(self):
+        base, _ = _drive("bit_flip")
+        burst, _ = _drive("burst:p_cluster=0.9")
+        # Same arrival process, but each arrival flips ~10x with p=0.9.
+        assert burst.errors_injected > 2 * base.errors_injected
+
+    def test_burst_max_len_one_degenerates_to_bit_flip(self):
+        """A 1-flip cluster never draws the continuation roll, so the RNG
+        sequence — and therefore the event stream — matches ``bit_flip``."""
+        _, base = _drive("bit_flip")
+        _, single = _drive("burst:max_len=1")
+        assert single == base
+
+    def test_burst_cluster_length_capped(self):
+        short, _ = _drive("burst:p_cluster=0.99,max_len=2")
+        long, _ = _drive("burst:p_cluster=0.99,max_len=8")
+        assert short.errors_injected < long.errors_injected
+
+    def test_control_flow_mix_is_control_heavy(self):
+        _, events = _drive("control_flow", instructions=2_000_000)
+        control = sum(1 for e in events if e.kind is ErrorKind.CONTROL)
+        assert control / len(events) > 0.6
+
+    def test_queue_state_mix_is_address_heavy(self):
+        _, events = _drive("queue_state", instructions=2_000_000)
+        address = sum(1 for e in events if e.kind is ErrorKind.ADDRESS)
+        assert address / len(events) > 0.6
+
+    def test_sticky_repeats_effects_during_dwell(self):
+        base, base_events = _drive("bit_flip")
+        sticky, events = _drive("sticky:dwell=100000,p_masked=0.0")
+        base_unmasked, _ = _drive("bit_flip:p_masked=0.0")
+        # Repeats add effects beyond the arrivals; arrival count unchanged
+        # at the RNG level, so injected grows strictly past the base's.
+        assert sticky.errors_injected > base_unmasked.errors_injected
+        assert len(events) > len([e for e in base_events])
+
+    def test_sticky_clears_after_dwell(self):
+        injector = StickyInjector(
+            ErrorModel(mtbe=100, p_masked=0.0), seed=1, core_id=0, dwell=50
+        )
+        injector.advance(1_000)
+        # run far past the last arrival-free dwell window
+        injector._countdown = 1e18  # no further arrivals
+        injector.advance(100)
+        assert injector._stuck_kind is not None or injector._stuck_until < injector.clock
+        injector.advance(10_000)
+        assert injector._stuck_kind is None
+
+
+class TestCountingContracts:
+    @pytest.mark.parametrize("spec", ALL_MODELS)
+    def test_injected_equals_trace_events(self, spec):
+        tracer = InMemoryTracer()
+        injector, events = _drive(spec, tracer=tracer)
+        traced = tracer.of_kind("error-injected")
+        assert len(traced) == injector.errors_injected
+        masked = [e for e in traced if e.masked]
+        assert len(masked) == injector.errors_masked
+        assert len(traced) - len(masked) == len(events)
+
+    def test_default_model_events_carry_no_tag(self):
+        tracer = InMemoryTracer()
+        _drive("bit_flip", tracer=tracer)
+        for event in tracer.of_kind("error-injected"):
+            assert event.model is None
+            assert "model" not in event.to_dict()
+
+    @pytest.mark.parametrize("spec", ("burst", "control_flow", "queue_state", "sticky"))
+    def test_nondefault_events_carry_model_identity(self, spec):
+        tracer = InMemoryTracer()
+        _drive(spec, tracer=tracer)
+        name = spec.partition(":")[0]
+        for event in tracer.of_kind("error-injected"):
+            assert event.model == name
+            assert event.to_dict()["model"] == name
+
+    def test_model_tag_round_trips_through_json(self):
+        from repro.observability.events import ErrorInjected, event_from_dict
+
+        event = ErrorInjected(
+            core=1, at_instruction=10, effect="data", masked=False, model="burst"
+        )
+        data = json.loads(json.dumps(event.to_dict()))
+        assert event_from_dict(data) == event
+
+    def test_tracing_does_not_perturb_results(self):
+        _, untraced = _drive("sticky")
+        _, traced = _drive("sticky", tracer=InMemoryTracer())
+        assert untraced == traced

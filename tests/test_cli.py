@@ -23,6 +23,61 @@ class TestMtbeParsing:
             _parse_mtbe("0")
 
 
+class TestFaultModelOption:
+    def test_default_is_bit_flip(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.fault_model == "bit_flip"
+        args = build_parser().parse_args(["sweep", "fft"])
+        assert args.fault_model == "bit_flip"
+
+    def test_spec_is_canonicalized(self):
+        args = build_parser().parse_args(
+            ["run", "fft", "--fault-model", "burst:p_cluster=0.7,max_len=4"]
+        )
+        assert args.fault_model == "burst:max_len=4,p_cluster=0.7"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fft", "--fault-model", "meteor_strike"]
+            )
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "fft", "--fault-model", "burst:dwell=5"]
+            )
+
+    def test_list_shows_fault_models(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fault models" in out
+        for name in ("bit_flip", "burst", "control_flow", "queue_state", "sticky"):
+            assert name in out
+
+    def test_run_reports_fault_model(self, capsys):
+        code = main(
+            ["run", "fft", "--mtbe", "100k", "--scale", "0.05",
+             "--fault-model", "sticky:dwell=50000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault model" in out
+        assert "sticky:dwell=50000" in out
+
+    def test_sweep_reports_fault_model_and_ci(self, capsys):
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "3",
+             "--scale", "0.05", "--no-cache", "--jobs", "1",
+             "--fault-model", "control_flow"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault model control_flow" in out
+        assert "±" in out  # mean ±CI cells
+        assert "mean ±95% CI" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
