@@ -35,6 +35,7 @@ from repro.api import RunReport, SweepPoint, SweepReport, run, sweep
 from repro.core import CommGuard, CommGuardConfig
 from repro.experiments.aggregate import CellStats, bootstrap_ci, summarize
 from repro.experiments.options import EngineOptions
+from repro.experiments.parallel import FailureRecord, RunTimeoutError, SweepRunError
 from repro.machine import (
     FAULT_MODELS,
     ErrorModel,
@@ -60,12 +61,15 @@ __all__ = [
     "EngineOptions",
     "ErrorModel",
     "FAULT_MODELS",
+    "FailureRecord",
     "FaultModel",
     "FaultModelSpec",
     "MulticoreSystem",
     "ProtectionLevel",
     "RunReport",
     "RunResult",
+    "RunTimeoutError",
+    "SweepRunError",
     "StreamGraph",
     "StreamProgram",
     "SweepPoint",

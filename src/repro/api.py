@@ -41,7 +41,12 @@ from repro.apps.registry import APP_BUILDERS, build_app
 from repro.core.config import CommGuardConfig
 from repro.experiments.aggregate import CellStats, summarize
 from repro.experiments.options import EngineOptions
-from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
+from repro.experiments.parallel import (
+    FailureRecord,
+    ParallelRunner,
+    RunSpec,
+    SweepStats,
+)
 from repro.experiments.runner import RunRecord, SimulationRunner
 from repro.machine.errors import ErrorModel
 from repro.machine.faults import DEFAULT_FAULT_MODEL, FaultModelSpec
@@ -236,14 +241,30 @@ def run(
 class SweepPoint:
     """One grid point of a sweep: the frozen spec, its flat record, and —
     when the sweep ran with ``collect_results=True`` — the raw
-    :class:`~repro.machine.runstats.RunResult` (outputs, metrics)."""
+    :class:`~repro.machine.runstats.RunResult` (outputs, metrics).
+
+    Under keep-going mode (``EngineOptions.keep_going=True``) a point
+    whose runs exhausted their retry budget carries ``record=None`` and
+    the engine's :class:`~repro.experiments.parallel.FailureRecord` in
+    ``failure``; strict sweeps (the default) never produce such points.
+    """
 
     spec: RunSpec
-    record: RunRecord
+    record: RunRecord | None
     result: RunResult | None = None
+    failure: FailureRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this point completed (``False`` = failed, keep-going)."""
+        return self.record is not None
 
     @property
     def quality_db(self) -> float:
+        if self.record is None:
+            raise ValueError(
+                f"sweep point failed, no measurements: {self.failure.summary()}"
+            )
         return self.record.quality_db
 
 
@@ -254,7 +275,10 @@ class SweepReport:
     Grid order is ``protection``-major, then ``mtbe``, then ``seed`` —
     the same nesting the figure harnesses use.  ``stats`` carries the
     engine's :class:`~repro.experiments.parallel.SweepStats` (wall/CPU
-    seconds, cache hits) when the parallel engine executed the sweep.
+    seconds, cache hits, failure/retry counts) when the parallel engine
+    executed the sweep.  Keep-going sweeps may contain failed points:
+    ``failures`` lists them, and every aggregation view (``select``,
+    ``records``, the stats methods) covers completed points only.
     """
 
     app: BenchmarkApp
@@ -270,7 +294,13 @@ class SweepReport:
 
     @property
     def records(self) -> list[RunRecord]:
-        return [point.record for point in self.points]
+        """Records of the completed points (failed points are skipped)."""
+        return [point.record for point in self.points if point.record is not None]
+
+    @property
+    def failures(self) -> list[FailureRecord]:
+        """Failure records of the points that exhausted their retries."""
+        return [point.failure for point in self.points if point.failure is not None]
 
     @property
     def protections(self) -> tuple[ProtectionLevel, ...]:
@@ -288,7 +318,9 @@ class SweepReport:
         mtbe: float | str | None = None,
         seed: int | None = None,
     ) -> list[SweepPoint]:
-        """Points matching every given axis value (``None`` = any)."""
+        """Completed points matching every given axis value (``None`` =
+        any); failed keep-going points carry no measurements and are
+        excluded (see :attr:`failures`)."""
         level = None
         if protection is not None:
             level = (
@@ -300,7 +332,8 @@ class SweepReport:
         return [
             point
             for point in self.points
-            if (level is None or point.spec.protection is level)
+            if point.record is not None
+            and (level is None or point.spec.protection is level)
             and (rate is None or point.spec.mtbe == rate)
             and (seed is None or point.spec.seed == seed)
         ]
@@ -421,7 +454,16 @@ def sweep(
     *options* is the shared :class:`~repro.experiments.EngineOptions` the
     CLI and figure harnesses use: the sweep executes on the parallel
     engine with its ``jobs``/``cache``/``trace_dir`` behaviour, and
-    ``options.scale`` is the app-build input scale.
+    ``options.scale`` is the app-build input scale.  The fault-tolerance
+    knobs (``retries``, ``run_timeout``, ``retry_backoff``,
+    ``keep_going``) flow through too: a strict sweep (default) raises
+    :class:`~repro.experiments.parallel.SweepRunError` when a point
+    exhausts its retries, a keep-going sweep completes the rest of the
+    grid and reports the failed points on :attr:`SweepReport.failures`.
+    The in-process path honours ``keep_going`` (failed points are
+    recorded, the rest of the grid completes) but — running each point
+    inline, with no worker to preempt or respawn — not ``retries`` or
+    ``run_timeout``.
 
     ``collect_results=True`` keeps every point's raw
     :class:`~repro.machine.runstats.RunResult` (needed e.g. to decode
@@ -467,9 +509,17 @@ def sweep(
         jobs=options.jobs,
         cache=options.cache,
         trace_dir=options.trace_dir,
+        retries=options.retries,
+        run_timeout=options.run_timeout,
+        retry_backoff=options.retry_backoff,
+        strict=not options.keep_going,
     )
     records = runner.run_specs(specs)
-    points = [SweepPoint(spec=s, record=r) for s, r in zip(specs, records)]
+    failures = {f.index: f for f in runner.last_stats.failures}
+    points = [
+        SweepPoint(spec=s, record=r, failure=failures.get(i))
+        for i, (s, r) in enumerate(zip(specs, records))
+    ]
     return SweepReport(
         app=bench, points=points, options=options, stats=runner.last_stats
     )
@@ -489,14 +539,34 @@ def _sweep_in_process(
     runner = _runner_for(scale)
     runner.adopt_app(bench)
     points: list[SweepPoint] = []
-    for spec in specs:
+    for index, spec in enumerate(specs):
         traced = spec
         if options.trace_dir is not None and spec.trace is None:
             key = spec.content_key(scale)
             traced = replace(
                 spec, trace=str(Path(options.trace_dir) / f"{key}.jsonl")
             )
-        record, result = runner.run_spec(traced)
+        try:
+            record, result = runner.run_spec(traced)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if not options.keep_going:
+                raise
+            points.append(
+                SweepPoint(
+                    spec=spec,
+                    record=None,
+                    failure=FailureRecord(
+                        index=index,
+                        spec=spec,
+                        failure="exception",
+                        message=f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                    ),
+                )
+            )
+            continue
         points.append(
             SweepPoint(
                 spec=spec,

@@ -7,7 +7,11 @@ Commands:
   (``--trace PATH`` streams the run's structured events as JSONL).
 * ``figure`` — regenerate one of the paper's figures/tables.
 * ``sweep`` — MTBE sweep of one benchmark (quality + loss per point;
-  ``--trace-dir DIR`` ships one JSONL trace per executed run).
+  ``--trace-dir DIR`` ships one JSONL trace per executed run).  The
+  fault-tolerance flags — ``--retries N``, ``--run-timeout SECONDS``,
+  ``--keep-going`` — retry failed runs with deterministic backoff,
+  preempt hung runs, and finish the sweep past exhausted points; Ctrl-C
+  exits cleanly with every completed run already flushed to the cache.
 * ``trace`` — summarize or tail a JSONL trace file.
 * ``cache`` — inspect or clear the on-disk result cache.
 
@@ -30,7 +34,12 @@ from repro import api
 from repro.apps.registry import APP_ORDER
 from repro.experiments.cache import ResultCache
 from repro.experiments.options import EngineOptions
-from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunSpec,
+    SweepRunError,
+    SweepStats,
+)
 from repro.experiments.aggregate import summarize
 from repro.experiments.registry import figure_names, figure_specs, resolve_figure
 from repro.experiments.report import db_or_errorfree, format_table
@@ -181,6 +190,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cache=_cache_option(args),
         progress=_progress_printer() if args.progress else None,
         trace_dir=args.trace_dir,
+        retries=args.retries,
+        run_timeout=args.run_timeout,
+        strict=not args.keep_going,
     )
     app = runner.app(args.app)
     ladder = [_parse_mtbe(text) for text in args.mtbe]
@@ -195,10 +207,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for mtbe in ladder
         for seed in range(args.seeds)
     ]
-    records = runner.run_specs(specs)
+    try:
+        records = runner.run_specs(specs)
+    except KeyboardInterrupt:
+        # Completed points are already flushed to the result cache, so a
+        # re-run resumes from here; report what survived and exit 130.
+        print("\n[sweep] interrupted — completed runs are cached", file=sys.stderr)
+        if runner.last_stats is not None:
+            print(f"[sweep] {runner.last_stats.summary()}", file=sys.stderr)
+        return 130
+    except SweepRunError as error:
+        print(f"[sweep] aborted: {error}", file=sys.stderr)
+        print(
+            "[sweep] use --keep-going to finish the remaining points, "
+            "--retries/--run-timeout to tolerate transient faults",
+            file=sys.stderr,
+        )
+        return 1
     rows = []
     for index, mtbe in enumerate(ladder):
-        chunk = records[index * args.seeds : (index + 1) * args.seeds]
+        chunk = [
+            r
+            for r in records[index * args.seeds : (index + 1) * args.seeds]
+            if r is not None
+        ]
+        if not chunk:
+            rows.append([f"{mtbe / 1000:.0f}k", "-", "-"])
+            continue
         quality = summarize([r.quality_db for r in chunk], cap=QUALITY_CAP_DB)
         loss = summarize([r.data_loss_ratio for r in chunk])
         rows.append(
@@ -216,6 +251,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(["MTBE", f"{app.metric.upper()} (dB)", "loss ratio"], rows))
     if runner.last_stats is not None:
         print(f"[sweep] {runner.last_stats.summary()}")
+        for failure in runner.last_stats.failures:
+            print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
     if args.trace_dir is not None:
         print(f"traces under {args.trace_dir}")
     return 0
@@ -275,6 +312,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -286,6 +337,29 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="do not read/write the .repro_cache/ result cache",
+    )
+
+
+def _add_fault_tolerance_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="retry each failed run up to N times (deterministic backoff)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock limit; a hung run is preempted and retried",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="complete the rest of the sweep when a run exhausts its "
+        "retries, reporting it as a failure (default: abort)",
     )
 
 
@@ -361,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSONL trace per executed run into DIR",
     )
     _add_engine_options(sweep_parser)
+    _add_fault_tolerance_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     trace_parser = sub.add_parser(
@@ -384,7 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        # Configuration errors (bad REPRO_JOBS, invalid engine knobs)
+        # surface as one actionable line, not a traceback.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,14 @@ EXPERIMENTS.md records paper-vs-measured values at the recorded scales.
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.options import EngineOptions
-from repro.experiments.parallel import ParallelRunner, RunSpec, SweepStats
+from repro.experiments.parallel import (
+    FailureRecord,
+    ParallelRunner,
+    RunSpec,
+    RunTimeoutError,
+    SweepRunError,
+    SweepStats,
+)
 from repro.experiments.registry import (
     FigureArtifact,
     FigureSpec,
@@ -55,13 +62,16 @@ __all__ = [
     "MTBE_LADDER_QUALITY",
     "PAPER_SEEDS",
     "EngineOptions",
+    "FailureRecord",
     "FigureArtifact",
     "FigureSpec",
     "ParallelRunner",
     "ResultCache",
     "RunRecord",
     "RunSpec",
+    "RunTimeoutError",
     "SimulationRunner",
+    "SweepRunError",
     "SweepStats",
     "figure_names",
     "figure_specs",

@@ -112,13 +112,19 @@ class ResultCache:
             return None
 
     def store(self, key: str, spec, scale: float, record: RunRecord) -> None:
-        """Persist one completed record (atomic write; best-effort on OSError)."""
+        """Persist one completed record (atomic write; best-effort on OSError).
+
+        A failed write (disk full, permissions) never leaves the mkstemp
+        temp file behind: the straggler is unlinked before returning, so
+        repeated failures cannot litter the cache directory.
+        """
         payload = {
             "spec": {**dataclasses.asdict(spec), "protection": spec.protection.value},
             "scale": scale,
             "record": record_to_dict(record),
         }
         path = self.path(key)
+        tmp_name = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -127,8 +133,15 @@ class ResultCache:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp_name, path)
+            tmp_name = None
         except OSError:
             return
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -136,7 +149,11 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete all cached entries; returns how many were removed."""
+        """Delete all cached entries; returns how many were removed.
+
+        Also sweeps any ``*.tmp`` stragglers an interrupted or crashed
+        writer left behind (they are not counted as removed entries).
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
@@ -144,6 +161,11 @@ class ResultCache:
             try:
                 entry.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for straggler in self.root.glob("*/*.tmp"):
+            try:
+                straggler.unlink()
             except OSError:
                 pass
         for shard in self.root.iterdir():

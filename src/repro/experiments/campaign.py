@@ -59,7 +59,13 @@ class OutcomeThresholds:
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcomes of one campaign."""
+    """Aggregated outcomes of one campaign.
+
+    ``harness_failures`` counts runs the *engine* could not complete
+    (keep-going sweeps return ``None`` for points that exhausted their
+    retries); they are infrastructure faults, not simulated outcomes, so
+    they are excluded from the outcome buckets and fractions.
+    """
 
     app: str
     protection: ProtectionLevel
@@ -67,6 +73,7 @@ class CampaignResult:
     counts: dict[Outcome, int] = field(default_factory=dict)
     qualities: list[float] = field(default_factory=list)
     total_errors_injected: int = 0
+    harness_failures: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -152,6 +159,9 @@ def run_campaign(
     for outcome in Outcome:
         result.counts[outcome] = 0
     for record in records:
+        if record is None:  # failed point from a keep-going engine
+            result.harness_failures += 1
+            continue
         quality = min(record.quality_db, QUALITY_CAP_DB)
         outcome = classify_outcome(quality, baseline, record.hung, thresholds)
         result.counts[outcome] += 1

@@ -20,9 +20,22 @@ class EngineOptions:
     ``jobs`` is the worker-process count (``None`` defers to ``REPRO_JOBS``
     or the CPU count, ``1`` forces serial); ``cache`` toggles the on-disk
     result cache; ``trace_dir`` ships one JSONL trace per executed run.
+
+    The fault-tolerance knobs mirror
+    :class:`~repro.experiments.parallel.ParallelRunner`: ``retries`` is
+    the bounded per-spec retry budget, ``run_timeout`` the per-run
+    wall-clock limit in seconds, ``retry_backoff`` the deterministic
+    backoff base (attempt *n* waits ``retry_backoff * 2**n`` seconds — no
+    jitter), and ``keep_going=True`` turns exhausted failures into
+    structured :class:`~repro.experiments.parallel.FailureRecord`\\ s
+    instead of raising on the first one (strict mode, the default).
     """
 
     scale: float | None = None
     jobs: int | None = None
     cache: bool = True
     trace_dir: str | None = None
+    retries: int = 0
+    run_timeout: float | None = None
+    retry_backoff: float = 0.0
+    keep_going: bool = False

@@ -7,7 +7,9 @@ provides that visibility as a first-class layer:
 
 * :mod:`repro.observability.events` — the typed event taxonomy emitted by
   the simulator (``ErrorInjected``, ``HeaderInserted``, ``AlignmentAction``,
-  ``QMTimeout``, ``ForcedUnblock``, ``QueueHighWater``, ``SweepProgress``).
+  ``QMTimeout``, ``ForcedUnblock``, ``QueueHighWater``) and by the sweep
+  engine (``SweepProgress``, ``RunRetried``, ``RunFailed``,
+  ``WorkerCrashed``).
 * :mod:`repro.observability.tracer` — the ``Tracer`` protocol plus the
   :class:`InMemoryTracer` and :class:`JsonlTracer` sinks.  Tracing is
   strictly opt-in: every emission site is guarded by an
@@ -34,8 +36,11 @@ from repro.observability.events import (
     HeaderInserted,
     QMTimeout,
     QueueHighWater,
+    RunFailed,
+    RunRetried,
     SweepProgress,
     TraceEvent,
+    WorkerCrashed,
     event_from_dict,
 )
 from repro.observability.metrics import (
@@ -63,9 +68,12 @@ __all__ = [
     "MetricsRegistry",
     "QMTimeout",
     "QueueHighWater",
+    "RunFailed",
+    "RunRetried",
     "SweepProgress",
     "TraceEvent",
     "Tracer",
+    "WorkerCrashed",
     "coerce_tracer",
     "event_from_dict",
     "read_trace",

@@ -143,6 +143,58 @@ class SweepProgress(TraceEvent):
     cache_hits: int
 
 
+@dataclass(frozen=True, slots=True)
+class RunRetried(TraceEvent):
+    """One sweep point failed an attempt and was requeued.
+
+    ``failure`` is the attempt's failure kind (``"exception"`` /
+    ``"timeout"`` / ``"crash"``); ``attempt`` is the 1-based number of the
+    retry being dispatched; ``backoff_seconds`` is the deterministic delay
+    applied before re-dispatch (``retry_backoff * 2**n``, never jittered).
+    """
+
+    kind: ClassVar[str] = "run-retried"
+
+    app: str
+    seed: int
+    failure: str
+    attempt: int
+    backoff_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunFailed(TraceEvent):
+    """One sweep point exhausted its retry budget and became a failure.
+
+    Mirrors the :class:`~repro.experiments.parallel.FailureRecord` the
+    engine files: under keep-going mode the sweep continues past it, under
+    strict mode this is the last event before ``SweepRunError``.
+    """
+
+    kind: ClassVar[str] = "run-failed"
+
+    app: str
+    seed: int
+    failure: str
+    message: str
+    attempts: int
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerCrashed(TraceEvent):
+    """A sweep worker process died, breaking its pool.
+
+    ``lost`` counts the in-flight specs whose results died with the pool;
+    ``requeued`` counts how many were quarantined for isolated re-runs
+    (0 when the crash happened in an already-isolated solo pool).
+    """
+
+    kind: ClassVar[str] = "worker-crashed"
+
+    lost: int
+    requeued: int
+
+
 #: kind tag -> event class, for deserialization and the CLI summary.
 EVENT_KINDS: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -154,6 +206,9 @@ EVENT_KINDS: dict[str, type[TraceEvent]] = {
         ForcedUnblock,
         QueueHighWater,
         SweepProgress,
+        RunRetried,
+        RunFailed,
+        WorkerCrashed,
     )
 }
 

@@ -1,0 +1,345 @@
+"""Fault-tolerance tests for the sweep engine.
+
+Exercises the robustness layer of :class:`ParallelRunner` against the
+deterministic fault hooks in :mod:`tests.experiments._fault_hooks`:
+bounded retries, per-run timeouts, worker-crash isolation, strict vs
+keep-going failure semantics, interruption, and cache integrity under
+simulated partial writes.  The core invariant throughout: a sweep that
+survives its faults returns records bit-identical to a fault-free serial
+sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import (
+    FailureRecord,
+    ParallelRunner,
+    RunSpec,
+    RunTimeoutError,
+    SweepRunError,
+    SweepStats,
+    resolve_jobs,
+)
+from repro.observability import InMemoryTracer
+from tests.experiments import _fault_hooks as hooks
+
+SCALE = 0.05
+
+
+def specs_grid(n_seeds=3, mtbe=100_000):
+    return [RunSpec(app="fft", mtbe=mtbe, seed=seed) for seed in range(n_seeds)]
+
+
+@pytest.fixture(scope="module")
+def clean_records():
+    """Fault-free serial baseline over the shared grid."""
+    return ParallelRunner(scale=SCALE, jobs=1).run_specs(specs_grid())
+
+
+class TestRetryOnException:
+    def test_serial_retry_recovers_bit_identical(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=1, retries=1, fault_hook=hooks.fail_once
+        )
+        assert runner.run_specs(specs_grid()) == clean_records
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.failed == 0
+        assert runner.last_stats.worker_crashes == 0
+
+    def test_pool_retry_recovers_bit_identical(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=2, retries=1, fault_hook=hooks.fail_once
+        )
+        assert runner.run_specs(specs_grid()) == clean_records
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.failed == 0
+
+    def test_retries_zero_vs_many_identical_without_faults(
+        self, clean_records, tmp_path
+    ):
+        # Retry plumbing must be invisible when nothing fails: same
+        # records, same cache keys, at any retry budget.
+        roots = []
+        for retries in (0, 3):
+            root = tmp_path / f"retries{retries}"
+            runner = ParallelRunner(
+                scale=SCALE, jobs=2, retries=retries, cache=ResultCache(root)
+            )
+            assert runner.run_specs(specs_grid()) == clean_records
+            assert runner.last_stats.retried == 0
+            roots.append({p.name for p in root.glob("*/*.json")})
+        assert roots[0] == roots[1]
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            retries=2,
+            retry_backoff=0.01,
+            fault_hook=hooks.fail_once,
+        )
+        tracer = InMemoryTracer()
+        runner.tracer = tracer
+        runner.run_specs(specs_grid(n_seeds=2))
+        (retry,) = tracer.of_kind("run-retried")
+        assert retry.backoff_seconds == 0.01  # 0.01 * 2**0, no jitter
+        assert retry.attempt == 1
+
+
+class TestRunTimeouts:
+    def test_serial_timeout_preempts_and_retries(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            retries=1,
+            run_timeout=0.5,
+            fault_hook=hooks.hang_once,
+        )
+        assert runner.run_specs(specs_grid()) == clean_records
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.failed == 0
+
+    def test_pool_timeout_preempts_and_retries(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=2,
+            retries=1,
+            run_timeout=0.5,
+            fault_hook=hooks.hang_once,
+        )
+        assert runner.run_specs(specs_grid()) == clean_records
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.worker_crashes == 0  # preempted, not killed
+
+    def test_timeout_exhaustion_is_a_timeout_failure(self):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            run_timeout=0.2,
+            strict=False,
+            fault_hook=lambda spec, attempt: hooks.hang_once(spec, 0),
+        )
+        records = runner.run_specs(specs_grid(n_seeds=2))
+        assert records[hooks.VICTIM_SEED] is None
+        (failure,) = runner.last_stats.failures
+        assert failure.failure == "timeout"
+        assert "wall-clock" in failure.message
+
+    def test_run_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="run_timeout"):
+            ParallelRunner(run_timeout=0)
+
+    def test_retries_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="retries"):
+            ParallelRunner(retries=-1)
+
+
+class TestWorkerCrashIsolation:
+    def test_crash_retry_recovers_bit_identical(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=2, retries=1, fault_hook=hooks.crash_once
+        )
+        tracer = InMemoryTracer()
+        runner.tracer = tracer
+        assert runner.run_specs(specs_grid()) == clean_records
+        assert runner.last_stats.failed == 0
+        assert runner.last_stats.worker_crashes >= 1
+        assert tracer.count("worker-crashed") == runner.last_stats.worker_crashes
+
+    def test_poison_spec_fails_without_dooming_innocents(self, clean_records):
+        # Innocent specs lost to the broken pool are quarantined without
+        # being charged an attempt, so with retries=0 they still complete
+        # and only the crasher becomes a failure.
+        runner = ParallelRunner(
+            scale=SCALE, jobs=2, strict=False, fault_hook=hooks.always_crash
+        )
+        records = runner.run_specs(specs_grid())
+        assert records[hooks.VICTIM_SEED] is None
+        for index, record in enumerate(records):
+            if index != hooks.VICTIM_SEED:
+                assert record == clean_records[index]
+        (failure,) = runner.last_stats.failures
+        assert failure.failure == "crash"
+        assert failure.index == hooks.VICTIM_SEED
+        assert "died" in failure.message
+
+    def test_crash_failure_raises_in_strict_mode(self):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=2, fault_hook=hooks.always_crash
+        )
+        with pytest.raises(SweepRunError, match="crash"):
+            runner.run_specs(specs_grid())
+        assert runner.last_stats.failed == 1
+
+
+class TestFailureSemantics:
+    def test_strict_raise_carries_failure_record(self):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=1, retries=1, fault_hook=hooks.always_fail
+        )
+        with pytest.raises(SweepRunError) as excinfo:
+            runner.run_specs(specs_grid(n_seeds=2))
+        failure = excinfo.value.failure
+        assert isinstance(failure, FailureRecord)
+        assert failure.failure == "exception"
+        assert failure.attempts == 2  # first try + one retry
+        assert "injected fault" in failure.message
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_keep_going_completes_the_rest(self, clean_records):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=1, strict=False, fault_hook=hooks.always_fail
+        )
+        records = runner.run_specs(specs_grid())
+        assert records[hooks.VICTIM_SEED] is None
+        for index, record in enumerate(records):
+            if index != hooks.VICTIM_SEED:
+                assert record == clean_records[index]
+        assert runner.last_stats.failed == 1
+        assert "1 failed" in runner.last_stats.summary()
+
+    def test_failure_summary_names_the_point(self):
+        failure = FailureRecord(
+            index=1,
+            spec=RunSpec(app="fft", mtbe=100_000, seed=1),
+            failure="timeout",
+            message="run exceeded its 5s wall-clock limit",
+            attempts=3,
+        )
+        text = failure.summary()
+        assert "fft" in text and "seed=1" in text
+        assert "timeout after 3 attempt(s)" in text
+
+    def test_fault_events_reach_the_tracer(self):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            retries=1,
+            strict=False,
+            fault_hook=hooks.always_fail,
+        )
+        tracer = InMemoryTracer()
+        runner.tracer = tracer
+        runner.run_specs(specs_grid(n_seeds=2))
+        assert tracer.count("run-retried") == 1
+        (failed,) = tracer.of_kind("run-failed")
+        assert failed.failure == "exception"
+        assert failed.attempts == 2
+
+    def test_fault_metrics_are_labelled(self):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            retries=1,
+            strict=False,
+            fault_hook=hooks.always_fail,
+        )
+        runner.run_specs(specs_grid(n_seeds=2))
+        assert (
+            runner.metrics.counter(
+                "sweep_run_retries", app="fft", failure="exception"
+            )
+            == 1
+        )
+        assert (
+            runner.metrics.counter(
+                "sweep_run_failures", app="fft", failure="exception"
+            )
+            == 1
+        )
+
+    def test_string_fault_hook_is_imported(self):
+        runner = ParallelRunner(
+            scale=SCALE,
+            jobs=1,
+            strict=False,
+            fault_hook="tests.experiments._fault_hooks:always_fail",
+        )
+        records = runner.run_specs(specs_grid(n_seeds=2))
+        assert records[hooks.VICTIM_SEED] is None
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_flushes_completed_records(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+
+        def interrupt_after_two(stats):
+            if stats.completed == 2:
+                raise KeyboardInterrupt
+
+        runner = ParallelRunner(
+            scale=SCALE, jobs=1, cache=cache, progress=interrupt_after_two
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run_specs(specs_grid())
+        assert runner.last_stats.interrupted
+        assert runner.last_stats.completed == 2
+        assert runner.last_stats.wall_seconds > 0
+        assert "[interrupted]" in runner.last_stats.summary()
+        assert len(cache) == 2
+
+        # Resuming with the same cache skips the flushed points.
+        resumed = ParallelRunner(scale=SCALE, jobs=1, cache=cache)
+        resumed.run_specs(specs_grid())
+        assert resumed.last_stats.cache_hits == 2
+        assert resumed.last_stats.executed == 1
+
+
+class TestStatsFreshness:
+    def test_wall_seconds_fresh_without_progress_callback(self):
+        runner = ParallelRunner(scale=SCALE, jobs=1)
+        runner.run_specs(specs_grid(n_seeds=1))
+        assert runner.last_stats.wall_seconds > 0
+
+    def test_summary_reports_fault_counts(self):
+        stats = SweepStats(
+            total=4, executed=3, failed=1, retried=2, worker_crashes=1
+        )
+        assert "1 failed, 2 retried, 1 worker crash(es)" in stats.summary()
+
+    def test_summary_is_quiet_without_faults(self):
+        assert "failed" not in SweepStats(total=4, executed=4).summary()
+
+
+class TestJobsEnvErrors:
+    def test_non_numeric_env_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ValueError, match="REPRO_JOBS='lots'"):
+            resolve_jobs(None)
+
+    def test_message_suggests_the_fix(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4.5")
+        with pytest.raises(ValueError, match="unset it to use"):
+            resolve_jobs(None)
+
+
+class TestCacheIntegrity:
+    def test_failed_replace_leaves_no_tmp_straggler(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(scale=SCALE, jobs=1)
+        (record,) = runner.run_specs(specs_grid(n_seeds=1))
+        spec = specs_grid(n_seeds=1)[0]
+        key = spec.content_key(SCALE)
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        cache.store(key, spec, SCALE, record)  # best-effort: swallows OSError
+        monkeypatch.undo()
+        assert list(cache.root.glob("*/*.tmp")) == []
+        assert cache.load(key) is None  # nothing partial became visible
+
+        cache.store(key, spec, SCALE, record)
+        assert cache.load(key) == record
+
+    def test_clear_sweeps_tmp_stragglers(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        shard = cache.root / "ab"
+        shard.mkdir(parents=True)
+        (shard / "abandoned.tmp").write_text("{")
+        assert cache.clear() == 0
+        assert not shard.exists()

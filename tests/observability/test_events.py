@@ -66,6 +66,9 @@ class TestTaxonomy:
             "forced-unblock",
             "queue-high-water",
             "sweep-progress",
+            "run-retried",
+            "run-failed",
+            "worker-crashed",
         }
 
     def test_events_are_frozen(self):

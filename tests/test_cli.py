@@ -158,3 +158,83 @@ class TestCommands:
     def test_figure_tables(self, capsys):
         assert main(["figure", "tables"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fft"])
+        assert args.retries == 0
+        assert args.run_timeout is None
+        assert not args.keep_going
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fft", "--retries", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fft", "--run-timeout", "0"])
+
+    def test_sweep_accepts_fault_tolerance_flags(self, capsys):
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1",
+             "--scale", "0.05", "--no-cache", "--jobs", "1",
+             "--retries", "2", "--run-timeout", "60"]
+        )
+        assert code == 0
+        assert "100k" in capsys.readouterr().out
+
+    @pytest.fixture
+    def faulty_runner(self, monkeypatch):
+        # The CLI has no fault flag of its own (the hook is a test seam),
+        # so wedge one into the runner it constructs.
+        import functools
+
+        from repro import cli
+        from tests.experiments import _fault_hooks as hooks
+
+        monkeypatch.setattr(
+            cli,
+            "ParallelRunner",
+            functools.partial(
+                cli.ParallelRunner, fault_hook=hooks.fail_everything
+            ),
+        )
+
+    def test_strict_failure_aborts_with_hint(self, capsys, faulty_runner):
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1",
+             "--scale", "0.05", "--no-cache", "--jobs", "1"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "[sweep] aborted" in err
+        assert "--keep-going" in err
+
+    def test_keep_going_reports_failures_and_finishes(
+        self, capsys, faulty_runner
+    ):
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1",
+             "--scale", "0.05", "--no-cache", "--jobs", "1", "--keep-going"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        (row,) = [
+            line for line in captured.out.splitlines()
+            if line.startswith("100k")
+        ]
+        assert row.split()[1:] == ["-", "-"]  # empty chunk renders placeholders
+        assert "1 failed" in captured.out
+        assert "[sweep] failed:" in captured.err
+
+    def test_bad_repro_jobs_is_one_clean_error_line(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        code = main(
+            ["sweep", "fft", "--mtbe", "100k", "--seeds", "1",
+             "--scale", "0.05", "--no-cache"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "REPRO_JOBS='lots'" in err

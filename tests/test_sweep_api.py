@@ -131,3 +131,89 @@ class TestPublicSurface:
         assert repro.sweep is sweep
         for name in ("sweep", "SweepReport", "SweepPoint", "EngineOptions"):
             assert name in repro.__all__
+
+
+class TestFaultTolerantSweeps:
+    def test_engine_options_carry_fault_tolerance_knobs(self):
+        options = EngineOptions(retries=2, run_timeout=30.0, keep_going=True)
+        assert options.retries == 2
+        assert options.run_timeout == 30.0
+        assert options.keep_going
+
+    def test_parallel_keep_going_marks_failed_points(self, monkeypatch):
+        import functools
+
+        from repro import api
+        from tests.experiments import _fault_hooks as hooks
+
+        monkeypatch.setattr(
+            api,
+            "ParallelRunner",
+            functools.partial(
+                api.ParallelRunner, fault_hook=hooks.always_fail
+            ),
+        )
+        report = sweep(
+            "fft",
+            mtbes="50k",
+            seeds=2,
+            options=EngineOptions(
+                scale=SCALE, jobs=1, cache=False, keep_going=True
+            ),
+        )
+        failed = [point for point in report if not point.ok]
+        (point,) = failed
+        assert point.record is None
+        assert point.failure.failure == "exception"
+        assert point.spec.seed == hooks.VICTIM_SEED
+        assert report.failures == [point.failure]
+        # Failed points drop out of every aggregation view.
+        assert len(report.records) == len(report) - 1
+        assert point not in report.select(seed=hooks.VICTIM_SEED)
+        with pytest.raises(ValueError, match="injected fault"):
+            point.quality_db
+
+    def test_parallel_strict_raises(self, monkeypatch):
+        import functools
+
+        from repro import api
+        from repro.experiments.parallel import SweepRunError
+        from tests.experiments import _fault_hooks as hooks
+
+        monkeypatch.setattr(
+            api,
+            "ParallelRunner",
+            functools.partial(
+                api.ParallelRunner, fault_hook=hooks.always_fail
+            ),
+        )
+        with pytest.raises(SweepRunError, match="injected fault"):
+            sweep("fft", mtbes="50k", seeds=2, options=FAST)
+
+    def test_in_process_keep_going_marks_failed_points(self, monkeypatch):
+        from repro.experiments import runner as runner_mod
+
+        original = runner_mod.SimulationRunner.run_spec
+
+        def flaky(self, spec, **kwargs):
+            if spec.seed == 1:
+                raise RuntimeError("injected fault")
+            return original(self, spec, **kwargs)
+
+        monkeypatch.setattr(runner_mod.SimulationRunner, "run_spec", flaky)
+        app = build_app("fft", scale=SCALE)
+        report = sweep(
+            app,
+            mtbes="50k",
+            seeds=2,
+            options=EngineOptions(scale=SCALE, keep_going=True),
+        )
+        (failure,) = report.failures
+        assert failure.failure == "exception"
+        assert "injected fault" in failure.message
+        assert len(report.records) == 1
+
+    def test_failure_exports_in_public_surface(self):
+        for name in ("FailureRecord", "RunTimeoutError", "SweepRunError"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
