@@ -2,14 +2,14 @@
 """Post-mortem a guarded run: trace CommGuard's realignment decisions.
 
 Runs the mp3 decoder at a high error rate with structured-event tracing
-enabled (``trace=True`` collects events in memory), then prints which
-frames were realigned and the event log — the programmatic equivalent of
-the paper's Fig. 7 annotations.
+enabled (``EngineOptions(trace=True)`` collects events in memory), then
+prints which frames were realigned and the event log — the programmatic
+equivalent of the paper's Fig. 7 annotations.
 """
 
 from collections import Counter
 
-from repro.api import run
+from repro.api import EngineOptions, run
 from repro.machine.errors import ErrorModel
 from repro.observability.events import AlignmentAction, ErrorInjected
 
@@ -20,9 +20,8 @@ def main() -> None:
         "commguard",
         mtbe=150_000,
         seed=4,
-        scale=0.4,
         error_model=ErrorModel(mtbe=150_000, p_masked=0.5),
-        trace=True,
+        options=EngineOptions(scale=0.4, trace=True),
     )
 
     print(

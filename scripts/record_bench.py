@@ -8,16 +8,22 @@ the repo root.  The matrix is jpeg, mp3 and the fft DSP kernel at two
 MTBEs under all four protection levels, plus the reduced Figure 10
 quality campaign (the sweep the speedup target is defined on).
 
+It also times the quiet-span fast path against the per-word precise
+oracle (``SystemConfig(exec_mode=...)``) on the high-MTBE rungs of the
+same campaign — the sparse-error regime the fast path is built for.
+
 Usage::
 
     PYTHONPATH=src python scripts/record_bench.py [--scale 0.25]
         [--repeats 2] [--out BENCH_simulator.json] [--check]
 
 ``--check`` exits non-zero when the event scheduler is slower than the
-legacy one on the campaign — CI runs with it so a scheduling regression
-fails the build.  Timings are best-of-``--repeats`` wall clock; both
-configurations produce bit-identical results (enforced by
-``tests/machine/test_scheduler_equivalence.py``), so only time differs.
+legacy one on the campaign, or when the fast path falls under 1.2x over
+precise on the high-MTBE campaign — CI runs with it so a scheduling or
+fast-path regression fails the build.  Timings are best-of-``--repeats``
+wall clock; all configurations produce bit-identical results (enforced
+by ``tests/machine/test_scheduler_equivalence.py`` and
+``tests/machine/test_exec_mode_equivalence.py``), so only time differs.
 """
 
 from __future__ import annotations
@@ -44,8 +50,20 @@ CONFIGS = {
     "event": SystemConfig(scheduler="event", batch_ops=True),
 }
 
+EXEC_CONFIGS = {
+    "precise": SystemConfig(exec_mode="precise"),
+    "fast": SystemConfig(),  # exec_mode="fast" is the default
+}
+
 BENCH_APPS = ("jpeg", "mp3", "fft")
 BENCH_MTBES = (64_000, 512_000)
+
+#: The fast-path target is defined on the sparse-error rungs: at MTBE >=
+#: 1024k nearly every firing sits inside an error-quiet span.
+HIGH_MTBE_FLOOR = 1_024_000
+
+#: Minimum fast-over-precise campaign speedup ``--check`` accepts.
+FAST_PATH_CHECK_FLOOR = 1.2
 
 
 def grid_cells() -> list[tuple[str, ProtectionLevel, int | None]]:
@@ -130,8 +148,8 @@ def main(argv: list[str] | None = None) -> int:
             }
         )
 
-    def campaign(config: SystemConfig) -> None:
-        for app_name, frame_scale, mtbe in campaign_points():
+    def campaign(config: SystemConfig, points) -> None:
+        for app_name, frame_scale, mtbe in points:
             run_program(
                 runner.app(app_name).program,
                 ProtectionLevel.COMMGUARD,
@@ -142,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     campaign_s = {
-        name: time_call(lambda: campaign(config), args.repeats)
+        name: time_call(lambda: campaign(config, campaign_points()), args.repeats)
         for name, config in CONFIGS.items()
     }
     campaign_speedup = campaign_s["legacy"] / campaign_s["event"]
@@ -150,6 +168,19 @@ def main(argv: list[str] | None = None) -> int:
         f"\nfig10 reduced campaign ({len(campaign_points())} runs): "
         f"legacy {campaign_s['legacy']:.3f}s  event {campaign_s['event']:.3f}s  "
         f"{campaign_speedup:.2f}x"
+    )
+
+    high_points = [p for p in campaign_points() if p[2] >= HIGH_MTBE_FLOOR]
+    fast_path_s = {
+        name: time_call(lambda: campaign(config, high_points), args.repeats)
+        for name, config in EXEC_CONFIGS.items()
+    }
+    fast_path_speedup = fast_path_s["precise"] / fast_path_s["fast"]
+    print(
+        f"fast path, high-MTBE campaign ({len(high_points)} runs, "
+        f"MTBE >= {HIGH_MTBE_FLOOR // 1000}k): "
+        f"precise {fast_path_s['precise']:.3f}s  "
+        f"fast {fast_path_s['fast']:.3f}s  {fast_path_speedup:.2f}x"
     )
 
     speedups = [cell["speedup"] for cell in grid]
@@ -171,6 +202,18 @@ def main(argv: list[str] | None = None) -> int:
             "event_s": round(campaign_s["event"], 4),
             "speedup": round(campaign_speedup, 3),
         },
+        "fast_path": {
+            "name": "fig10-reduced-high-mtbe",
+            "configs": {
+                "precise": "per-word oracle (exec_mode='precise')",
+                "fast": "quiet-span bulk firing (exec_mode='fast', default)",
+            },
+            "mtbe_floor": HIGH_MTBE_FLOOR,
+            "runs": len(high_points),
+            "precise_s": round(fast_path_s["precise"], 4),
+            "fast_s": round(fast_path_s["fast"], 4),
+            "speedup": round(fast_path_speedup, 3),
+        },
         "summary": {
             "geomean_speedup": round(
                 math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3
@@ -178,18 +221,27 @@ def main(argv: list[str] | None = None) -> int:
             "min_speedup": round(min(speedups), 3),
             "max_speedup": round(max(speedups), 3),
             "campaign_speedup": round(campaign_speedup, 3),
+            "fast_path_speedup": round(fast_path_speedup, 3),
         },
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
+    failed = False
     if args.check and campaign_speedup < 1.0:
         print(
             "FAIL: event scheduler slower than legacy on the fig10 campaign",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.check and fast_path_speedup < FAST_PATH_CHECK_FLOOR:
+        print(
+            f"FAIL: fast path under {FAST_PATH_CHECK_FLOOR}x over precise "
+            "on the high-MTBE campaign",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

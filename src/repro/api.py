@@ -32,6 +32,9 @@ error messages.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -40,6 +43,7 @@ from repro.apps.base import BenchmarkApp
 from repro.apps.registry import APP_BUILDERS, build_app
 from repro.core.config import CommGuardConfig
 from repro.experiments.aggregate import CellStats, summarize
+from repro.experiments.cache import record_from_dict, record_to_dict
 from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import (
     FailureRecord,
@@ -100,8 +104,105 @@ def parse_mtbe(text: str | float | int | None) -> float | None:
                 "(e.g. 512k, 1M, 64000)"
             ) from None
     if value <= 0:
-        raise ValueError("MTBE must be positive")
+        raise ValueError(
+            f"MTBE must be positive, got {text!r}; use a positive number or "
+            "k/M suffix (e.g. 512k, 1M, 64000), or None for error-free"
+        )
     return value
+
+
+#: Version tag written into every serialized report.  Bump when the JSON
+#: shape changes incompatibly; readers reject documents from the future
+#: with an error naming both versions.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Lightweight app identity carried by deserialized reports.
+
+    A serialized report stores only the app's name and quality metric —
+    not its compiled program or reference signal — so a report loaded
+    with :meth:`RunReport.from_json` / :meth:`SweepReport.from_json`
+    carries this stand-in where a live :class:`BenchmarkApp` would be.
+    Every aggregation view works; anything needing the actual program
+    (e.g. :meth:`BenchmarkApp.baseline_quality`) requires rebuilding the
+    app via :func:`resolve_app`.
+    """
+
+    name: str
+    metric: str = "snr"
+
+    def baseline_quality(self) -> float:
+        raise ValueError(
+            f"app {self.name!r} came from a deserialized report and has no "
+            "compiled program; rebuild it with repro.api.resolve_app(name) "
+            "to compute baseline quality"
+        )
+
+
+def _spec_to_dict(spec: RunSpec) -> dict:
+    data = dataclasses.asdict(spec)
+    data["protection"] = spec.protection.value
+    return data
+
+
+def _spec_from_dict(data: dict) -> RunSpec:
+    fields_ = dict(data)
+    fields_["protection"] = ProtectionLevel(fields_["protection"])
+    return RunSpec(**fields_)
+
+
+def _failure_to_dict(failure: FailureRecord) -> dict:
+    return {
+        "index": failure.index,
+        "spec": _spec_to_dict(failure.spec),
+        "failure": failure.failure,
+        "message": failure.message,
+        "attempts": failure.attempts,
+    }
+
+
+def _failure_from_dict(data: dict) -> FailureRecord:
+    return FailureRecord(
+        index=data["index"],
+        spec=_spec_from_dict(data["spec"]),
+        failure=data["failure"],
+        message=data["message"],
+        attempts=data["attempts"],
+    )
+
+
+def _stats_to_dict(stats: SweepStats) -> dict:
+    data = {
+        f.name: getattr(stats, f.name)
+        for f in dataclasses.fields(stats)
+        if f.name != "failures"
+    }
+    data["failures"] = [_failure_to_dict(f) for f in stats.failures]
+    return data
+
+
+def _stats_from_dict(data: dict) -> SweepStats:
+    fields_ = dict(data)
+    fields_["failures"] = [_failure_from_dict(f) for f in fields_["failures"]]
+    return SweepStats(**fields_)
+
+
+def _check_document(data: dict, kind: str) -> None:
+    """Reject documents this reader cannot faithfully interpret."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report schema_version {version!r}; this reader "
+            f"supports version {SCHEMA_VERSION}"
+        )
+    found = data.get("kind")
+    if found != kind:
+        raise ValueError(
+            f"wrong report kind {found!r}; expected {kind!r} "
+            "(run reports and sweep reports are distinct documents)"
+        )
 
 
 @dataclass
@@ -111,12 +212,16 @@ class RunReport:
     ``spec`` is the frozen description of the point, ``record`` the flat
     measurements (quality, loss, overhead ratios), ``result`` the raw
     machine outcome (per-thread counters, outputs, metrics registry).
+    Reports deserialized with :meth:`from_json` carry ``result=None`` and
+    an :class:`AppInfo` stand-in for ``app`` — the raw machine outcome
+    and the compiled program are in-memory objects, not part of the
+    serialized document.
     """
 
     spec: RunSpec
     record: RunRecord
-    result: RunResult
-    app: BenchmarkApp
+    result: RunResult | None = None
+    app: BenchmarkApp | AppInfo = AppInfo(name="?")
     #: Where the JSONL trace was written, when *trace* was a path.
     trace_path: Path | None = None
     #: Collected events, when *trace* was ``True`` (in-memory tracing).
@@ -142,6 +247,46 @@ class RunReport:
         app, so repeated reports for one app pay it once)."""
         return self.app.baseline_quality()
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe document of this report (spec + record + app identity).
+
+        The raw :class:`~repro.machine.runstats.RunResult`, collected
+        trace events and the compiled app are in-memory objects and are
+        not serialized; everything else round-trips losslessly through
+        :meth:`from_dict`.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "run_report",
+            "app": {"name": self.app.name, "metric": self.app.metric},
+            "spec": _spec_to_dict(self.spec),
+            "record": record_to_dict(self.record),
+            "trace_path": str(self.trace_path) if self.trace_path else None,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        _check_document(data, "run_report")
+        trace_path = data.get("trace_path")
+        return cls(
+            spec=_spec_from_dict(data["spec"]),
+            record=record_from_dict(data["record"]),
+            result=None,
+            app=AppInfo(**data["app"]),
+            trace_path=Path(trace_path) if trace_path else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Inverse of :meth:`to_json` (see :meth:`to_dict` for what is
+        carried; rejects unknown ``schema_version`` values)."""
+        return cls.from_dict(json.loads(text))
+
 
 #: Per-scale runner cache: amortizes app builds (codec encoding, graph
 #: construction) across repeated :func:`run` calls in one process.
@@ -154,6 +299,10 @@ def _runner_for(scale: float) -> SimulationRunner:
     return _RUNNERS[scale]
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
+_UNSET = object()
+
+
 def run(
     app: str | BenchmarkApp,
     protection: ProtectionLevel | str = ProtectionLevel.COMMGUARD,
@@ -161,23 +310,56 @@ def run(
     mtbe: float | str | None = None,
     seed: int = 0,
     config: CommGuardConfig | None = None,
-    trace: "Tracer | str | Path | bool | None" = None,
     frame_scale: int = 1,
-    scale: float = 1.0,
     error_model: ErrorModel | None = None,
     fault_model: FaultModelSpec | str | None = None,
+    options: EngineOptions | None = None,
+    trace: "Tracer | str | Path | bool | None" = _UNSET,  # deprecated alias
+    scale: float = _UNSET,  # deprecated alias
 ) -> RunReport:
     """Run one benchmark once and return a :class:`RunReport`.
 
     ``config`` supplies the CommGuard design knobs (``frame_scale`` is a
-    shorthand used only when ``config`` is omitted); ``scale`` is the
-    app-build input scale; ``error_model`` overrides the calibrated
-    masking/effect mix.  ``fault_model`` selects the error process from
-    the registry in :mod:`repro.machine.faults` — a name or
-    ``name:param=val,...`` spec string (default ``bit_flip``, which is
-    bit-identical to the pre-registry injector).  See the module
+    shorthand used only when ``config`` is omitted); ``error_model``
+    overrides the calibrated masking/effect mix.  ``fault_model`` selects
+    the error process from the registry in :mod:`repro.machine.faults` —
+    a name or ``name:param=val,...`` spec string (default ``bit_flip``,
+    which is bit-identical to the pre-registry injector).  See the module
     docstring for the accepted *app*, *protection* and *trace* spellings.
+
+    Engine knobs come through *options*, the same
+    :class:`~repro.experiments.EngineOptions` every entry point shares:
+    ``options.scale`` is the app-build input scale, ``options.trace``
+    the trace destination (anything
+    :func:`~repro.observability.coerce_tracer` understands), and
+    ``options.exec_mode`` the execution mode (``"fast"`` quiet-span
+    bulk path vs the bit-identical ``"precise"`` per-word oracle).  The
+    legacy ``scale=`` / ``trace=`` keyword arguments still work but emit
+    a :class:`DeprecationWarning`.
     """
+    opts = options or EngineOptions()
+    if scale is not _UNSET:
+        warnings.warn(
+            "repro.api.run(scale=...) is deprecated; "
+            "pass options=EngineOptions(scale=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    else:
+        scale = None
+    if trace is not _UNSET:
+        warnings.warn(
+            "repro.api.run(trace=...) is deprecated; "
+            "pass options=EngineOptions(trace=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    else:
+        trace = None
+    scale = scale if scale is not None else (
+        opts.scale if opts.scale is not None else 1.0
+    )
+    trace = trace if trace is not None else opts.trace
     bench = resolve_app(app, scale=scale)
     level = (
         protection
@@ -207,6 +389,7 @@ def run(
         pop_timeout=config.pop_timeout,
         fault_model=fault.canonical(),
         trace=str(owned.path) if owned is not None and owned.path else None,
+        exec_mode=opts.exec_mode,
     )
     runner = _runner_for(scale)
     runner.adopt_app(bench)
@@ -220,6 +403,7 @@ def run(
             error_model=error_model,
             tracer=tracer,
             fault_model=fault.canonical(),
+            exec_mode=opts.exec_mode,
         )
     finally:
         if owned is not None:
@@ -281,7 +465,7 @@ class SweepReport:
     ``records``, the stats methods) covers completed points only.
     """
 
-    app: BenchmarkApp
+    app: BenchmarkApp | AppInfo
     points: list[SweepPoint]
     options: EngineOptions
     stats: SweepStats | None = None
@@ -388,6 +572,80 @@ class SweepReport:
         return summarize(
             [p.record.data_loss_ratio for p in points], confidence=confidence
         )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe document of this sweep: every point's spec and record
+        (or failure), the engine options, and the engine stats.
+
+        Raw :class:`~repro.machine.runstats.RunResult` objects
+        (``collect_results=True`` sweeps) and the compiled app are
+        in-memory only; everything a report aggregates — records,
+        failures, stats — round-trips losslessly through
+        :meth:`from_dict`.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "sweep_report",
+            "app": {"name": self.app.name, "metric": self.app.metric},
+            "options": dataclasses.asdict(self.options),
+            "points": [
+                {
+                    "spec": _spec_to_dict(point.spec),
+                    "record": (
+                        record_to_dict(point.record)
+                        if point.record is not None
+                        else None
+                    ),
+                    "failure": (
+                        _failure_to_dict(point.failure)
+                        if point.failure is not None
+                        else None
+                    ),
+                }
+                for point in self.points
+            ],
+            "stats": _stats_to_dict(self.stats) if self.stats is not None else None,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepReport":
+        _check_document(data, "sweep_report")
+        points = [
+            SweepPoint(
+                spec=_spec_from_dict(entry["spec"]),
+                record=(
+                    record_from_dict(entry["record"])
+                    if entry.get("record") is not None
+                    else None
+                ),
+                failure=(
+                    _failure_from_dict(entry["failure"])
+                    if entry.get("failure") is not None
+                    else None
+                ),
+            )
+            for entry in data["points"]
+        ]
+        stats = data.get("stats")
+        return cls(
+            app=AppInfo(**data["app"]),
+            points=points,
+            options=EngineOptions(**data["options"]),
+            stats=_stats_from_dict(stats) if stats is not None else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Inverse of :meth:`to_json`: rebuilds every point (records,
+        failures) and the engine stats; the app comes back as an
+        :class:`AppInfo` stand-in.  Rejects documents whose
+        ``schema_version`` this reader does not support."""
+        return cls.from_dict(json.loads(text))
 
 
 def _parse_protection_axis(
@@ -496,6 +754,7 @@ def sweep(
                             DEFAULT_FAULT_MODEL if error_free or rate is None
                             else fault.canonical()
                         ),
+                        exec_mode=options.exec_mode,
                     )
                 )
 

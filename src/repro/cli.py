@@ -12,8 +12,14 @@ Commands:
   ``--keep-going`` — retry failed runs with deterministic backoff,
   preempt hung runs, and finish the sweep past exhausted points; Ctrl-C
   exits cleanly with every completed run already flushed to the cache.
+* ``report`` — re-render a JSON sweep report written by ``sweep
+  --output FILE`` (same summary block as the live sweep).
 * ``trace`` — summarize or tail a JSONL trace file.
 * ``cache`` — inspect or clear the on-disk result cache.
+
+``run`` and ``sweep`` take ``--exec-mode {fast,precise}``: the quiet-span
+fast path (default) or the per-word precise oracle — bit-identical by
+contract, so the choice only affects wall-clock time.
 
 ``figure`` and ``sweep`` execute through the parallel sweep engine:
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans independent
@@ -29,6 +35,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro import api
 from repro.apps.registry import APP_ORDER
@@ -139,9 +146,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         mtbe=args.mtbe,
         seed=args.seed,
         frame_scale=args.frame_scale,
-        scale=args.scale,
-        trace=args.trace,
         fault_model=args.fault_model,
+        options=EngineOptions(
+            scale=args.scale, trace=args.trace, exec_mode=args.exec_mode
+        ),
     )
     elapsed = time.time() - start
     app = report.app
@@ -182,6 +190,40 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_summary(
+    app_name: str,
+    metric: str,
+    protection_value: str,
+    fault_model: str,
+    seeds: int,
+    ladder: list,
+    cells: list,
+) -> str:
+    """The sweep summary block: header line plus the per-MTBE table.
+
+    ``cells`` holds, per ladder entry, the completed records of that MTBE
+    point (an empty cell — every run failed — renders as dashes).  Both
+    ``repro sweep`` and ``repro report`` print through this function, so
+    a report rendered from a serialized sweep reproduces the live sweep's
+    summary byte for byte.
+    """
+    rows = []
+    for mtbe, chunk in zip(ladder, cells):
+        label = "-" if mtbe is None else f"{mtbe / 1000:.0f}k"
+        if not chunk:
+            rows.append([label, "-", "-"])
+            continue
+        quality = summarize([r.quality_db for r in chunk], cap=QUALITY_CAP_DB)
+        loss = summarize([r.data_loss_ratio for r in chunk])
+        rows.append([label, quality.format(), loss.format(4)])
+    header = (
+        f"{app_name} under {protection_value} "
+        f"({seeds} seeds/point, fault model {fault_model}, mean ±95% CI)"
+    )
+    table = format_table(["MTBE", f"{metric.upper()} (dB)", "loss ratio"], rows)
+    return f"{header}\n{table}"
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     protection = ProtectionLevel.parse(args.protection)
     runner = ParallelRunner(
@@ -203,6 +245,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             mtbe=mtbe,
             seed=seed,
             fault_model=args.fault_model,
+            exec_mode=args.exec_mode,
         )
         for mtbe in ladder
         for seed in range(args.seeds)
@@ -224,37 +267,94 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    rows = []
-    for index, mtbe in enumerate(ladder):
-        chunk = [
+    cells = [
+        [
             r
             for r in records[index * args.seeds : (index + 1) * args.seeds]
             if r is not None
         ]
-        if not chunk:
-            rows.append([f"{mtbe / 1000:.0f}k", "-", "-"])
-            continue
-        quality = summarize([r.quality_db for r in chunk], cap=QUALITY_CAP_DB)
-        loss = summarize([r.data_loss_ratio for r in chunk])
-        rows.append(
-            [
-                f"{mtbe / 1000:.0f}k",
-                quality.format(),
-                loss.format(4),
-            ]
-        )
+        for index in range(len(ladder))
+    ]
     print(
-        f"{args.app} under {protection.value} "
-        f"({args.seeds} seeds/point, fault model {args.fault_model}, "
-        f"mean ±95% CI)"
+        _sweep_summary(
+            args.app, app.metric, protection.value, args.fault_model,
+            args.seeds, ladder, cells,
+        )
     )
-    print(format_table(["MTBE", f"{app.metric.upper()} (dB)", "loss ratio"], rows))
     if runner.last_stats is not None:
         print(f"[sweep] {runner.last_stats.summary()}")
         for failure in runner.last_stats.failures:
             print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
     if args.trace_dir is not None:
         print(f"traces under {args.trace_dir}")
+    if args.output is not None:
+        stats = runner.last_stats
+        failures = {f.index: f for f in stats.failures} if stats else {}
+        report = api.SweepReport(
+            app=app,
+            points=[
+                api.SweepPoint(spec=spec, record=record, failure=failures.get(i))
+                for i, (spec, record) in enumerate(zip(specs, records))
+            ],
+            options=EngineOptions(
+                scale=args.scale,
+                jobs=args.jobs,
+                cache=_cache_option(args),
+                trace_dir=args.trace_dir,
+                exec_mode=args.exec_mode,
+                retries=args.retries,
+                run_timeout=args.run_timeout,
+                keep_going=args.keep_going,
+            ),
+            stats=stats,
+        )
+        try:
+            Path(args.output).write_text(report.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write report: {error}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Re-render a serialized sweep report (``repro sweep --output``)."""
+    try:
+        text = Path(args.file).read_text()
+    except OSError as error:
+        print(f"cannot read report: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = api.SweepReport.from_json(text)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"malformed report: {error}", file=sys.stderr)
+        return 1
+    if not report.points:
+        print("empty report: no sweep points")
+        return 0
+    seeds = len({point.spec.seed for point in report.points})
+    for level in report.protections:
+        points = [p for p in report.points if p.spec.protection is level]
+        ladder = list(dict.fromkeys(p.spec.mtbe for p in points))
+        cells = [
+            [
+                p.record
+                for p in points
+                if p.spec.mtbe == mtbe and p.record is not None
+            ]
+            for mtbe in ladder
+        ]
+        fault_model = points[0].spec.fault_model
+        print(
+            _sweep_summary(
+                report.app.name, report.app.metric, level.value, fault_model,
+                seeds, ladder, cells,
+            )
+        )
+    if report.stats is not None:
+        print(f"[sweep] {report.stats.summary()}")
+        for failure in report.stats.failures:
+            print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
     return 0
 
 
@@ -340,6 +440,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_exec_mode_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--exec-mode",
+        choices=["fast", "precise"],
+        default="fast",
+        help="simulation execution mode: the quiet-span fast path "
+        "(default) or the bit-identical per-word precise oracle",
+    )
+
+
 def _add_fault_tolerance_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries",
@@ -395,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="stream the run's structured events to a JSONL file",
     )
+    _add_exec_mode_option(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
@@ -434,9 +545,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="write one JSONL trace per executed run into DIR",
     )
+    sweep_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the sweep as a versioned JSON report "
+        "(re-render it later with `repro report FILE`)",
+    )
+    _add_exec_mode_option(sweep_parser)
     _add_engine_options(sweep_parser)
     _add_fault_tolerance_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="re-render a sweep report written by sweep --output"
+    )
+    report_parser.add_argument("file", help="JSON report file")
+    report_parser.set_defaults(func=cmd_report)
 
     trace_parser = sub.add_parser(
         "trace", help="summarize or tail a JSONL trace file"

@@ -178,7 +178,23 @@ class AlignmentManager:
         if not units:
             return []
         self._stats.is_header_checks += len(units)
-        return [unit_word(unit) for unit in units]
+        # Plain item units are bare masked words (the header flag is the
+        # only metadata bit, and pop_plain_items never returns headers), so
+        # the units pass through without a per-word unit_word() transform.
+        return units
+
+    def can_pop_block(self, count: int) -> bool:
+        """True when :meth:`pop_block` would serve *count* words right now.
+
+        The quiet-span fast path's pop-eligibility check: the FSM must be
+        in its aligned steady state, the producer still running, and at
+        least *count* plain units published ahead of any header.  O(1).
+        """
+        return (
+            self.state is AlignmentState.RCV_CMP
+            and not self.producer_finished
+            and self._queue.plain_visible_units() >= count
+        )
 
     def _on_header(self, frame_id: int, active_fc: int) -> int | None:
         """Drive the FSM for a received header; maybe serve padding."""

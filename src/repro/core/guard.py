@@ -158,6 +158,17 @@ class CommGuard:
         """Bulk fast path: pop up to *limit* aligned plain items."""
         return self._ams[qid].pop_block(limit)
 
+    def can_pop_quiet(self, qid: int, count: int) -> bool:
+        """True when *count* pops on *qid* would complete without blocking,
+        padding, discarding or any FSM transition (quiet-span eligibility)."""
+        return self._ams[qid].can_pop_block(count)
+
+    def can_push_quiet(self, qid: int, count: int) -> bool:
+        """True when *count* pushes on *qid* would complete without
+        blocking (quiet-span eligibility)."""
+        queue = self.qm.outgoing[qid]
+        return queue.geometry.capacity_units - queue.total_units() >= count
+
     def advance_header_insertions(self) -> bool:
         """Drain pending HI work; ``True`` when no insertions are pending.
 

@@ -71,14 +71,34 @@ def plan_geometry(
     return QueueGeometry(workset_units=max(1, workset_units), capacity_units=capacity)
 
 
+#: Consumed-prefix length beyond which the published list is compacted
+#: (mirrors :class:`repro.machine.queues.ReliableQueue`'s lazy compaction).
+_COMPACT_THRESHOLD = 4096
+
+
 class GuardedQueue:
-    """One edge's QM-managed storage (items + headers, working-set handoff)."""
+    """One edge's QM-managed storage (items + headers, working-set handoff).
+
+    Published units live in a list with a lazy read index (amortized O(1)
+    pops, O(1) bulk slices).  Header positions are tracked as absolute
+    ordinals in a side deque, so "how many plain items precede the next
+    header" — the question both the batched pop path and the quiet-span
+    fast path ask — is answered in O(1) instead of scanning.
+    """
 
     def __init__(self, qid: int, geometry: QueueGeometry) -> None:
         self.qid = qid
         self.geometry = geometry
-        self._published: deque[DataUnit] = deque()
+        self._published: list[DataUnit] = []
+        self._read = 0
         self._producer_local: list[DataUnit] = []
+        #: Indices of header units within ``_producer_local``.
+        self._local_headers: list[int] = []
+        #: Absolute ordinals (units ever published before them) of the
+        #: published-but-unpopped header units, in queue order.
+        self._header_offsets: deque[int] = deque()
+        self._published_total = 0  # units ever published
+        self._popped_total = 0  # units ever popped
         self._flushed = False
         #: High-water mark of total buffered units (Section 5.1 sizing aid).
         self.peak_units = 0
@@ -116,6 +136,7 @@ class GuardedQueue:
         stats.qm_push_local += 1
         if is_header_unit(unit):
             stats.header_stores += 1
+            self._local_headers.append(len(self._producer_local) - 1)
         if len(self._producer_local) >= self.geometry.workset_units:
             self._publish(stats, full_handoff=True)
         return True
@@ -133,7 +154,7 @@ class GuardedQueue:
         if self.tracer is not None:
             return 0
         local = self._producer_local
-        total = len(self._published) + len(local)
+        total = self.visible_units() + len(local)
         take = min(self.geometry.capacity_units - total, len(words) - start)
         if take <= 0:
             return 0
@@ -166,6 +187,13 @@ class GuardedQueue:
         return True
 
     def _publish(self, stats: CommGuardStats, full_handoff: bool) -> None:
+        if self._local_headers:
+            base = self._published_total
+            self._header_offsets.extend(
+                base + index for index in self._local_headers
+            )
+            self._local_headers.clear()
+        self._published_total += len(self._producer_local)
         self._published.extend(self._producer_local)
         self._producer_local.clear()
         stats.qm_get_new_workset += 1
@@ -181,12 +209,20 @@ class GuardedQueue:
 
     def pop_unit(self, stats: CommGuardStats) -> DataUnit | None:
         """Remove and return the next data unit; ``None`` when blocked."""
-        if not self._published:
+        published = self._published
+        read = self._read
+        if read >= len(published):
             return None
-        unit = self._published.popleft()
+        unit = published[read]
+        self._read = read + 1
+        self._popped_total += 1
+        if self._read > _COMPACT_THRESHOLD:  # compact lazily
+            del published[: self._read]
+            self._read = 0
         stats.qm_pop_local += 1
         if is_header_unit(unit):
             stats.header_loads += 1
+            self._header_offsets.popleft()
         if self.wake_hub is not None:
             self.wake_hub.on_pop(self.qid)
         return unit
@@ -197,24 +233,39 @@ class GuardedQueue:
 
         Observably identical to the equivalent :meth:`pop_unit` sequence.
         """
+        take = min(limit, self.plain_visible_units())
+        if take <= 0:
+            return []
         published = self._published
-        take = min(limit, len(published))
-        count = 0
-        units: list[DataUnit] = []
-        while count < take and not is_header_unit(published[0]):
-            units.append(published.popleft())
-            count += 1
-        if count:
-            stats.qm_pop_local += count
-            if self.wake_hub is not None:
-                self.wake_hub.on_pop(self.qid)
+        read = self._read
+        units = published[read : read + take]
+        self._read = read + take
+        self._popped_total += take
+        if self._read > _COMPACT_THRESHOLD:  # compact lazily
+            del published[: self._read]
+            self._read = 0
+        stats.qm_pop_local += take
+        if self.wake_hub is not None:
+            self.wake_hub.on_pop(self.qid)
         return units
 
     # -- introspection --------------------------------------------------------
 
     def visible_units(self) -> int:
         """Units the consumer could pop right now."""
-        return len(self._published)
+        return len(self._published) - self._read
+
+    def plain_visible_units(self) -> int:
+        """Consecutive plain (non-header) units at the consumer's front.
+
+        O(1): the distance from the pop cursor to the next published
+        header's ordinal, or the whole visible run when no header is
+        queued.  This is the quiet-span fast path's pop-eligibility check.
+        """
+        visible = len(self._published) - self._read
+        if self._header_offsets:
+            return min(visible, self._header_offsets[0] - self._popped_total)
+        return visible
 
     def unpublished_units(self) -> int:
         """Units sitting in the producer's local working set."""

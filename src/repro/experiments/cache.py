@@ -44,7 +44,10 @@ def spec_key(spec, scale: float) -> str:
     """Deterministic content key of one (spec, app-build scale) point.
 
     The ``trace`` side-output path is excluded: where a run's events are
-    streamed does not change what the run computes.  The default
+    streamed does not change what the run computes.  ``exec_mode`` is
+    excluded because fast and precise execution are bit-identical by
+    contract (the equivalence suite enforces it), so both modes share one
+    cache entry and pre-existing keys stay valid.  The default
     ``bit_flip`` fault model is also excluded — it is the process every
     pre-registry run used, so omitting it keeps every existing cache key
     (and entry) valid; non-default models key on their canonical spec
@@ -52,6 +55,7 @@ def spec_key(spec, scale: float) -> str:
     """
     payload = dataclasses.asdict(spec)
     payload.pop("trace", None)
+    payload.pop("exec_mode", None)
     if payload.get("fault_model") == "bit_flip":
         del payload["fault_model"]
     payload["protection"] = spec.protection.value

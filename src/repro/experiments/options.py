@@ -1,10 +1,13 @@
-"""Engine options shared by every batch entry point.
+"""Engine options shared by every execution entry point.
 
-The CLI (``repro figure`` / ``repro sweep``), :func:`repro.api.sweep` and
-the :class:`~repro.experiments.registry.FigureSpec` runners all accept the
-same knobs for the parallel sweep engine; this dataclass is their single
-spelling, so a figure harness and an API sweep configured the same way
-build the same :class:`~repro.experiments.parallel.ParallelRunner`.
+:func:`repro.api.run`, :func:`repro.api.sweep`, the CLI (``repro run`` /
+``repro figure`` / ``repro sweep``) and the
+:class:`~repro.experiments.registry.FigureSpec` runners all accept the
+same knobs through this dataclass — the single documented spelling of
+"how should the engine execute this", so a figure harness and an API
+sweep configured the same way build the same
+:class:`~repro.experiments.parallel.ParallelRunner`, and a single
+:func:`~repro.api.run` call reuses the very same option names.
 """
 
 from __future__ import annotations
@@ -14,12 +17,23 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True, slots=True)
 class EngineOptions:
-    """How the sweep engine executes a batch of runs.
+    """How the engine executes a run or a batch of runs.
 
     ``scale`` shrinks app inputs (``None`` keeps each harness's default);
     ``jobs`` is the worker-process count (``None`` defers to ``REPRO_JOBS``
     or the CPU count, ``1`` forces serial); ``cache`` toggles the on-disk
-    result cache; ``trace_dir`` ships one JSONL trace per executed run.
+    result cache; ``trace_dir`` ships one JSONL trace per executed run,
+    while ``trace`` is the trace destination for a one-run entry point
+    (:func:`repro.api.run`) — anything
+    :func:`~repro.observability.coerce_tracer` understands: a JSONL
+    path, ``True`` for in-memory event collection, or a ready tracer.
+    Batch entry points ignore ``trace`` in favour of ``trace_dir``.
+
+    ``exec_mode`` selects the simulation execution mode: ``"fast"`` (the
+    quiet-span bulk path, the default) or ``"precise"`` (the per-word
+    oracle).  The two are bit-identical by contract — same records, same
+    cache keys, byte-identical traces — so this knob trades nothing but
+    wall-clock time.
 
     The fault-tolerance knobs mirror
     :class:`~repro.experiments.parallel.ParallelRunner`: ``retries`` is
@@ -35,6 +49,8 @@ class EngineOptions:
     jobs: int | None = None
     cache: bool = True
     trace_dir: str | None = None
+    trace: object | None = None
+    exec_mode: str = "fast"
     retries: int = 0
     run_timeout: float | None = None
     retry_backoff: float = 0.0

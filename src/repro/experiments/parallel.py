@@ -94,6 +94,13 @@ class RunSpec:
     from the content key (a traced and an untraced run of the same point
     produce the same record), so requesting a trace never invalidates
     cached results.
+
+    ``exec_mode`` selects the simulation execution mode (``"fast"``, the
+    quiet-span bulk path, or ``"precise"``, the per-word oracle — see
+    :class:`~repro.machine.system.SystemConfig`).  Both modes are
+    bit-identical by contract, so ``exec_mode`` is excluded from the
+    content key: fast and precise runs of the same point share one cache
+    entry, and every pre-existing key stays valid.
     """
 
     app: str
@@ -112,6 +119,8 @@ class RunSpec:
     fault_model: str = "bit_flip"
     #: Optional JSONL trace destination (side output; not part of the key).
     trace: str | None = None
+    #: Simulation execution mode (bit-identical modes; not part of the key).
+    exec_mode: str = "fast"
 
     def commguard_config(self) -> CommGuardConfig:
         return CommGuardConfig(

@@ -26,7 +26,7 @@ from repro.core.config import CommGuardConfig
 from repro.machine.errors import ErrorModel
 from repro.machine.protection import ProtectionLevel
 from repro.machine.runstats import RunResult
-from repro.machine.system import run_program
+from repro.machine.system import SystemConfig, run_program
 from repro.quality.metrics import QUALITY_CAP_DB
 
 
@@ -113,6 +113,7 @@ class SimulationRunner:
         :func:`repro.api.run` call (passing this runner's built app so the
         api-level runner cache and ours agree on the instance)."""
         from repro import api
+        from repro.experiments.options import EngineOptions
 
         report = api.run(
             self.app(app_name),
@@ -121,7 +122,7 @@ class SimulationRunner:
             seed=seed,
             config=commguard_config,
             frame_scale=frame_scale if commguard_config is None else 1,
-            scale=self.scale,
+            options=EngineOptions(scale=self.scale),
             error_model=error_model,
         )
         return report.record, report.result
@@ -137,16 +138,21 @@ class SimulationRunner:
         error_model: ErrorModel | None = None,
         tracer=None,
         fault_model: str | None = None,
+        exec_mode: str | None = None,
     ) -> tuple[RunRecord, RunResult]:
         """Run once; returns the flat record plus the raw result."""
         app = self.app(app_name)
         config = commguard_config or CommGuardConfig(frame_scale=frame_scale)
+        system_config = (
+            None if exec_mode is None else SystemConfig(exec_mode=exec_mode)
+        )
         result = run_program(
             app.program,
             protection,
             mtbe=mtbe,
             seed=seed,
             commguard_config=config,
+            system_config=system_config,
             error_model=error_model,
             tracer=tracer,
             fault_model=fault_model,
@@ -210,6 +216,7 @@ class SimulationRunner:
                 error_model=spec.error_model(),
                 tracer=tracer,
                 fault_model=getattr(spec, "fault_model", None),
+                exec_mode=getattr(spec, "exec_mode", None),
             )
         finally:
             if owned is not None:

@@ -109,6 +109,15 @@ class ErrorInjector:
     #: the error metrics labels.
     fault_name = "bit_flip"
 
+    #: Whether quiet-span certification (:meth:`quiet_for` /
+    #: :meth:`consume_quiet`) is sound for this model.  The base process is
+    #: purely arrival-driven, so a window strictly shorter than the current
+    #: countdown provably injects nothing.  Subclasses whose ``advance()``
+    #: has effects beyond exponential arrivals (e.g. stuck-at replay while
+    #: dwelling) must either override :meth:`quiet_for` to account for them
+    #: or set this ``False`` to opt out of the fast path entirely.
+    supports_quiet_span = True
+
     def __init__(
         self,
         model: ErrorModel,
@@ -144,6 +153,34 @@ class ErrorInjector:
             self._arrival(events)
             self._countdown += self._draw_gap()
         return events
+
+    def quiet_for(self, instructions: int) -> bool:
+        """True when an ``advance(instructions)`` would provably inject
+        nothing — the *error horizon* check of the quiet-span fast path.
+
+        The countdown to the next arrival is already drawn, so the window is
+        quiet iff it ends strictly before the countdown reaches zero
+        (``advance`` fires the arrival when the countdown hits 0 exactly).
+        Certified windows are consumed with :meth:`consume_quiet`.
+        """
+        if not self.supports_quiet_span:
+            return False
+        countdown = self._countdown
+        return countdown is None or countdown > instructions
+
+    def consume_quiet(self, instructions: int) -> None:
+        """Advance the clock through a window :meth:`quiet_for` certified.
+
+        The arithmetic is *identical* to :meth:`advance` — the same clock
+        add and the same single countdown subtraction — so interleaving
+        quiet and precise windows keeps the arrival process (and therefore
+        the RNG stream) bit-identical to an all-precise run.  Floating-point
+        subtraction is not associative, so the one-subtraction-per-window
+        discipline is load-bearing: never batch several windows into one.
+        """
+        self.clock += instructions
+        if self._countdown is not None:
+            self._countdown -= instructions
 
     def _arrival(self, events: list[ErrorEvent]) -> None:
         """One error arrival: draw masking, then the architectural effect.

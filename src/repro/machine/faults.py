@@ -107,15 +107,17 @@ class FaultModelSpec:
                 key = key.strip()
                 if not sep or not key:
                     raise ValueError(
-                        f"malformed fault-model parameter {item!r}; "
-                        "expected name:param=val,param=val"
+                        f"malformed fault-model parameter {item!r} in "
+                        f"{text!r}; expected 'name:param=val[,param=val...]' "
+                        "(e.g. 'burst:p_cluster=0.7,max_len=4')"
                     )
                 try:
                     params.append((key, float(value)))
                 except ValueError:
                     raise ValueError(
                         f"unparsable fault-model parameter value {value!r} "
-                        f"for {key!r}"
+                        f"for {key!r} in {text!r}; expected a number "
+                        "(e.g. 'sticky:dwell=50000')"
                     ) from None
         spec = cls(name=name, params=tuple(params))
         resolve_fault_model(spec)  # validates name and parameter names
@@ -259,6 +261,14 @@ class StickyInjector(ErrorInjector):
             else:
                 self._stuck_kind = None
         return events
+
+    def quiet_for(self, instructions: int) -> bool:
+        # While a register is stuck, every advance window re-corrupts (and
+        # an expired dwell is only cleared by advance()); no window is
+        # quiet until the precise path has run the fault off.
+        if self._stuck_kind is not None:
+            return False
+        return super().quiet_for(instructions)
 
 
 # -- the registry ---------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Precompiled per-node firing plans for the quiet-span fast path.
+
+A steady-state firing of a stream node is statically determined: its
+instruction cost, its per-port push/pop rates and its memory traffic are
+fixed at graph-construction time (every ``Filter.instruction_cost`` /
+``memory_loads`` / ``memory_stores`` in the tree returns a constant
+computed from construction parameters).  The quiet-span fast path in
+:class:`~repro.machine.thread.NodeThread` exploits that: instead of
+re-deriving rates and charges on every firing, it compiles one
+:class:`FiringPlan` per node up front and replays it for every firing that
+the error injector certifies as quiet (no arrival inside the firing's
+instruction window — see :meth:`repro.machine.errors.ErrorInjector.quiet_for`).
+
+The plan captures exactly the quantities the precise per-word path reads
+from the node, so a fast firing charges bit-identical counters.  A filter
+whose cost *did* vary per firing would break the plan's premise; such a
+filter must be run with ``SystemConfig.exec_mode="precise"`` (no filter in
+this repository does — all costs are construction-time constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streamit.filters import Filter
+
+
+@dataclass(frozen=True, slots=True)
+class FiringPlan:
+    """Flattened steady-state shape of one node's firing.
+
+    ``cost``
+        Committed instructions per firing (``Filter.instruction_cost()``).
+    ``input_rates`` / ``output_rates``
+        Per-port pop/push word counts, in port order.
+    ``total_inputs`` / ``total_outputs``
+        Sums of the rate tuples (the per-firing items/memory word charges).
+    ``memory_loads`` / ``memory_stores``
+        The node's own memory traffic beyond queue words.
+    ``n_outputs``
+        Output-port count, used for the work() shape check.
+    """
+
+    cost: int
+    input_rates: tuple[int, ...]
+    output_rates: tuple[int, ...]
+    total_inputs: int
+    total_outputs: int
+    memory_loads: int
+    memory_stores: int
+    n_outputs: int
+
+
+def compile_plan(node: Filter) -> FiringPlan:
+    """Compile *node*'s statically-known firing shape into a plan."""
+    input_rates = tuple(node.input_rates)
+    output_rates = tuple(node.output_rates)
+    return FiringPlan(
+        cost=node.instruction_cost(),
+        input_rates=input_rates,
+        output_rates=output_rates,
+        total_inputs=sum(input_rates),
+        total_outputs=sum(output_rates),
+        memory_loads=node.memory_loads(),
+        memory_stores=node.memory_stores(),
+        n_outputs=node.n_outputs,
+    )

@@ -60,6 +60,19 @@ class SystemConfig:
     the words of a firing that cannot block); it changes wall-clock time
     only, never results or trace bytes.
 
+    ``exec_mode`` selects the simulation execution mode: ``"fast"`` (the
+    default) lets each thread execute whole steady-state firings in bulk
+    whenever the error injector certifies the firing's instruction window
+    as quiet (no arrival before the *error horizon*) and the queues/guard
+    certify it cannot block or transition any alignment FSM, dropping to
+    the precise per-word machinery around every injected error;
+    ``"precise"`` runs the original per-word path unconditionally (the
+    oracle; it also forces per-word transfers, overriding ``batch_ops`` —
+    batched transfers are part of the fast machinery).  Both are
+    bit-identical — same :class:`RunResult`, same cache keys,
+    byte-identical traces — see the equivalence suite in
+    ``tests/machine/test_exec_mode_equivalence.py``.
+
     ``fault_model`` selects the error process from the registry in
     :mod:`repro.machine.faults`, in ``name[:param=val,...]`` spec syntax.
     The default ``bit_flip`` is bit-identical to the pre-registry
@@ -76,6 +89,7 @@ class SystemConfig:
     scheduler: str = "event"
     batch_ops: bool = True
     fault_model: str = "bit_flip"
+    exec_mode: str = "fast"
 
 
 class MulticoreSystem:
@@ -217,6 +231,7 @@ class MulticoreSystem:
                 frame_stall_cycles=config.frame_stall_cycles if guarded else 0,
                 tracer=tracer,
                 batch_ops=config.batch_ops,
+                exec_mode=config.exec_mode,
             )
             core.threads.append(thread)
         system = cls(program, protection, cores, config, tracer=tracer)

@@ -28,6 +28,7 @@ from typing import Iterator
 from repro.core.guard import CommGuard
 from repro.core.stats import ThreadCounters
 from repro.machine.errors import ErrorInjector, ErrorKind
+from repro.machine.plan import FiringPlan, compile_plan
 from repro.machine.ppu import PPUModel
 from repro.machine.queues import RawQueue
 from repro.observability.events import QMTimeout
@@ -63,6 +64,16 @@ class CommPath:
         back to per-word."""
         return []
 
+    def can_fire_quiet(
+        self, input_rates: tuple[int, ...], output_rates: tuple[int, ...]
+    ) -> bool:
+        """True when one whole steady-state firing (popping ``input_rates``
+        and pushing ``output_rates`` per port) is guaranteed to complete
+        without blocking or any guard-state transition — the quiet-span
+        fast path's communication-eligibility check.  Conservative ``False``
+        falls back to the precise per-word path."""
+        return False
+
     def on_end(self) -> None:
         """Outermost scope exited."""
 
@@ -97,6 +108,23 @@ class RawCommPath(CommPath):
 
     def pop_many(self, port: int, limit: int) -> list[int]:
         return self._incoming[port].pop_many(limit)
+
+    def can_fire_quiet(
+        self, input_rates: tuple[int, ...], output_rates: tuple[int, ...]
+    ) -> bool:
+        incoming = self._incoming
+        for port, rate in enumerate(input_rates):
+            if incoming[port].occupancy() < rate:
+                return False
+        outgoing = self._outgoing
+        for port, rate in enumerate(output_rates):
+            queue = outgoing[port]
+            # A corrupted software-queue pointer can make occupancy()
+            # astronomical; the room then goes negative and the precise
+            # path handles the apparent-full blocking semantics.
+            if queue.capacity - queue.occupancy() < rate:
+                return False
+        return True
 
     def corrupt_management_state(self, rng: random.Random) -> bool:
         if not self._corruptible:
@@ -134,6 +162,25 @@ class GuardedCommPath(CommPath):
     def pop_many(self, port: int, limit: int) -> list[int]:
         return self.guard.pop_many(self._in_qids[port], limit)
 
+    def can_fire_quiet(
+        self, input_rates: tuple[int, ...], output_rates: tuple[int, ...]
+    ) -> bool:
+        guard = self.guard
+        if not guard.hi.idle:
+            # Pending header insertions serialize before queue traffic
+            # (Section 5.3); defensive — the thread drains them at frame
+            # boundaries before any firing runs.
+            return False
+        in_qids = self._in_qids
+        for port, rate in enumerate(input_rates):
+            if not guard.can_pop_quiet(in_qids[port], rate):
+                return False
+        out_qids = self._out_qids
+        for port, rate in enumerate(output_rates):
+            if not guard.can_push_quiet(out_qids[port], rate):
+                return False
+        return True
+
     def on_end(self) -> None:
         self.guard.on_end_of_computation()
 
@@ -168,7 +215,13 @@ class NodeThread:
         frame_stall_cycles: int = 0,
         tracer=None,
         batch_ops: bool = True,
+        exec_mode: str = "fast",
     ) -> None:
+        if exec_mode not in ("fast", "precise"):
+            raise ValueError(
+                f"unknown exec_mode {exec_mode!r}; "
+                "valid choices: 'fast', 'precise'"
+            )
         self.node = node
         self.comm = comm
         self.n_frames = n_frames
@@ -180,7 +233,16 @@ class NodeThread:
         self.tracer = tracer
         #: Credit-based batched firing: queue words that cannot block move
         #: in bulk (wall-clock only; results and trace bytes are invariant).
-        self.batch_ops = batch_ops
+        #: Part of the fast machinery — ``exec_mode="precise"`` is the pure
+        #: per-word oracle, so it forces the per-word transfer path too.
+        self.batch_ops = batch_ops and exec_mode == "fast"
+        self.exec_mode = exec_mode
+        #: Precompiled steady-state firing shape (see repro.machine.plan).
+        self.plan: FiringPlan = compile_plan(node)
+        # Quiet-span fast path: whole firings outside the error horizon run
+        # in bulk.  Disabled under a tracer so the per-word path reproduces
+        # event bytes exactly (the same discipline as batch_ops).
+        self._fast = exec_mode == "fast" and tracer is None
         self.counters = ThreadCounters()
         if isinstance(comm, GuardedCommPath):
             # Share the guard's stats object so aggregation sees both.
@@ -235,7 +297,10 @@ class NodeThread:
                     break
                 yield
             self._timeout_mode = False
+            fast = self._fast
             for _firing in range(self.firings_per_frame):
+                if fast and self._fire_quiet():
+                    continue
                 yield from self._fire()
         self.comm.on_end()
         while not self.comm.advance_end():
@@ -258,6 +323,70 @@ class NodeThread:
                 self.tracer.emit(QMTimeout(thread=self.node.name))
             return True
         return False
+
+    def _fire_quiet(self) -> bool:
+        """One whole steady-state firing outside the error horizon.
+
+        Eligibility (checked first, consuming nothing on failure):
+
+        * the injector certifies the firing's instruction window as quiet
+          (no error arrival can land inside it), and
+        * the communication path certifies every pop and push of the firing
+          completes without blocking or any guard-state transition.
+
+        An eligible firing is, word for word, the firing the precise path
+        would execute with zero injected events and zero blocked retries —
+        so it can charge its counters in bulk and skip the per-word
+        machinery.  The injector consumes the window with the identical
+        countdown arithmetic ``advance()`` would use, keeping the RNG
+        stream (and therefore everything downstream) bit-identical.
+
+        Returns ``False`` when not provably quiet; the caller then runs
+        the precise generator path for this firing.
+        """
+        plan = self.plan
+        if not self.injector.quiet_for(plan.cost):
+            return False
+        comm = self.comm
+        if not comm.can_fire_quiet(plan.input_rates, plan.output_rates):
+            return False
+        self.injector.consume_quiet(plan.cost)
+        counters = self.counters
+        node = self.node
+
+        inputs: list[list[int]] = []
+        for port, rate in enumerate(plan.input_rates):
+            words = comm.pop_many(port, rate)
+            if len(words) != rate:
+                raise RuntimeError(
+                    f"quiet firing of {node.name} under-popped port {port}: "
+                    f"{len(words)} of {rate} words"
+                )
+            inputs.append(words)
+        counters.items_popped += plan.total_inputs
+        counters.memory.loads += plan.total_inputs + plan.memory_loads
+
+        outputs = node.work(inputs)
+        if len(outputs) != plan.n_outputs or any(
+            len(port) != rate for port, rate in zip(outputs, plan.output_rates)
+        ):
+            raise RuntimeError(
+                f"filter {node.name} produced wrong batch shape: "
+                f"{[len(p) for p in outputs]} vs rates {node.output_rates}"
+            )
+
+        for port, rate in enumerate(plan.output_rates):
+            if comm.push_many(port, outputs[port], 0) != rate:
+                raise RuntimeError(
+                    f"quiet firing of {node.name} under-pushed port {port}"
+                )
+        counters.items_pushed += plan.total_outputs
+        counters.memory.stores += plan.total_outputs + plan.memory_stores
+
+        counters.committed_instructions += plan.cost
+        counters.firings += 1
+        self._timeout_mode = False
+        return True
 
     def _fire(self) -> Iterator[None]:
         node = self.node

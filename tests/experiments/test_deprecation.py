@@ -47,8 +47,40 @@ class TestNewEntryPoints:
             runner.execute_spec(spec)
 
     def test_api_run_does_not_warn(self):
-        from repro.api import run
+        from repro.api import EngineOptions, run
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
+            run("fft", "commguard", mtbe=100_000, seed=0,
+                options=EngineOptions(scale=SCALE))
+
+
+class TestApiRunAliases:
+    """The legacy run(scale=/trace=) kwargs warn, still work, and match
+    the options= spelling bit for bit."""
+
+    def test_scale_alias_warns_and_matches_options(self):
+        from repro.api import EngineOptions, run
+
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.run\(scale"):
+            legacy = run("fft", "commguard", mtbe=100_000, seed=0, scale=SCALE)
+        fresh = run("fft", "commguard", mtbe=100_000, seed=0,
+                    options=EngineOptions(scale=SCALE))
+        assert legacy.record == fresh.record
+
+    def test_trace_alias_warns_and_matches_options(self, tmp_path):
+        from repro.api import EngineOptions, run
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.run\(trace"):
+            run("fft", "commguard", mtbe=100_000, seed=0,
+                options=EngineOptions(scale=SCALE), trace=str(a))
+        run("fft", "commguard", mtbe=100_000, seed=0,
+            options=EngineOptions(scale=SCALE, trace=str(b)))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_alias_warning_points_at_replacement(self):
+        from repro.api import run
+
+        with pytest.warns(DeprecationWarning, match="EngineOptions"):
             run("fft", "commguard", mtbe=100_000, seed=0, scale=SCALE)

@@ -12,6 +12,8 @@ Two contracts from the fault-model subsystem's design:
   without CommGuard, tolerable with it.
 """
 
+from dataclasses import replace
+
 import pytest
 
 import repro.api as api
@@ -19,7 +21,8 @@ from repro.experiments.cache import spec_key
 from repro.experiments.parallel import RunSpec
 from repro.machine.protection import ProtectionLevel
 
-FFT = dict(mtbe=100_000, seed=3, scale=0.1)
+OPTS = api.EngineOptions(scale=0.1)
+FFT = dict(mtbe=100_000, seed=3, options=OPTS)
 
 
 class TestBitFlipBitIdentity:
@@ -50,15 +53,18 @@ class TestBitFlipBitIdentity:
 
     def test_trace_bytes_identical_and_model_free(self, tmp_path):
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
-        api.run("fft", "commguard", trace=str(a), **FFT)
-        api.run("fft", "commguard", trace=str(b), fault_model="bit_flip", **FFT)
+        api.run("fft", "commguard", mtbe=100_000, seed=3,
+                options=replace(OPTS, trace=str(a)))
+        api.run("fft", "commguard", mtbe=100_000, seed=3,
+                options=replace(OPTS, trace=str(b)), fault_model="bit_flip")
         data = a.read_bytes()
         assert data == b.read_bytes()
         assert b'"model"' not in data  # pre-registry event encoding
 
     def test_nondefault_traces_carry_model_identity(self, tmp_path):
         path = tmp_path / "burst.jsonl"
-        api.run("fft", "commguard", trace=str(path), fault_model="burst", **FFT)
+        api.run("fft", "commguard", mtbe=100_000, seed=3,
+                options=replace(OPTS, trace=str(path)), fault_model="burst")
         error_lines = [
             line for line in path.read_text().splitlines()
             if '"error-injected"' in line

@@ -10,7 +10,7 @@ from collections import Counter
 
 import pytest
 
-from repro.api import run
+from repro.api import EngineOptions, run
 from repro.cli import main
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import SimulationRunner
@@ -25,7 +25,8 @@ SEED = 5  # exercises realignment at MTBE 64k (pads > 0)
 def traced(tmp_path_factory):
     """One traced commguard run at MTBE 64k, shared across the contracts."""
     path = tmp_path_factory.mktemp("trace") / "run.jsonl"
-    report = run("fft", "commguard", mtbe=MTBE, seed=SEED, scale=SCALE, trace=path)
+    report = run("fft", "commguard", mtbe=MTBE, seed=SEED,
+                 options=EngineOptions(scale=SCALE, trace=str(path)))
     return report, path, list(read_trace(path))
 
 
@@ -89,7 +90,8 @@ class TestStressContracts:
     def test_discard_contract_under_error_storm(self):
         tracer = InMemoryTracer()
         report = run(
-            "fft", "commguard", mtbe=2_000, seed=0, scale=SCALE, trace=tracer
+            "fft", "commguard", mtbe=2_000, seed=0,
+            options=EngineOptions(scale=SCALE, trace=tracer),
         )
         stats = report.result.commguard_stats()
         assert stats.discarded_items > 0
@@ -101,8 +103,8 @@ class TestStressContracts:
     def test_timeout_contract_on_unprotected_baseline(self):
         tracer = InMemoryTracer()
         report = run(
-            "fft", "ppu-reliable-queue", mtbe=1_000, seed=0, scale=SCALE,
-            trace=tracer,
+            "fft", "ppu-reliable-queue", mtbe=1_000, seed=0,
+            options=EngineOptions(scale=SCALE, trace=tracer),
         )
         stats = report.result.commguard_stats()
         assert stats.timeouts > 0
@@ -146,7 +148,8 @@ class TestDisabledTracer:
         assert plain == traced
 
     def test_untraced_report_has_no_trace_artifacts(self):
-        report = run("fft", "commguard", mtbe=MTBE, seed=SEED, scale=SCALE)
+        report = run("fft", "commguard", mtbe=MTBE, seed=SEED,
+                     options=EngineOptions(scale=SCALE))
         assert report.events is None
         assert report.trace_path is None
 

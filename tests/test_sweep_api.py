@@ -80,7 +80,8 @@ class TestReportViews:
 
     def test_records_match_run(self, grid_report):
         point = grid_report.select(protection="commguard", mtbe="50k", seed=0)[0]
-        report = run("fft", "commguard", mtbe="50k", seed=0, scale=SCALE)
+        report = run("fft", "commguard", mtbe="50k", seed=0,
+                     options=EngineOptions(scale=SCALE))
         assert point.record == report.record
 
     def test_engine_stats_attached(self, grid_report):
@@ -107,7 +108,7 @@ class TestInProcessPath:
         (point,) = report.points
         assert point.spec.app == "fft"
         assert point.record.quality_db == pytest.approx(
-            run(app, mtbe="50k", scale=SCALE).record.quality_db
+            run(app, mtbe="50k", options=EngineOptions(scale=SCALE)).record.quality_db
         )
 
     def test_trace_dir_ships_one_trace_per_run(self, tmp_path):
