@@ -36,6 +36,7 @@ from repro.core import CommGuard, CommGuardConfig
 from repro.experiments.aggregate import CellStats, bootstrap_ci, summarize
 from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import FailureRecord, RunTimeoutError, SweepRunError
+from repro.experiments.store import RunStore, derive_campaign_id
 from repro.machine import (
     FAULT_MODELS,
     ErrorModel,
@@ -68,6 +69,7 @@ __all__ = [
     "ProtectionLevel",
     "RunReport",
     "RunResult",
+    "RunStore",
     "RunTimeoutError",
     "SweepRunError",
     "StreamGraph",
@@ -76,6 +78,7 @@ __all__ = [
     "SweepReport",
     "SystemConfig",
     "bootstrap_ci",
+    "derive_campaign_id",
     "fault_model_names",
     "psnr_db",
     "register_fault_model",

@@ -45,6 +45,7 @@ from repro.core.config import CommGuardConfig
 from repro.experiments.aggregate import CellStats, summarize
 from repro.experiments.cache import record_from_dict, record_to_dict
 from repro.experiments.options import EngineOptions
+from repro.experiments.store import RunStore, derive_campaign_id
 from repro.experiments.parallel import (
     FailureRecord,
     ParallelRunner,
@@ -151,6 +152,32 @@ def _spec_from_dict(data: dict) -> RunSpec:
     fields_ = dict(data)
     fields_["protection"] = ProtectionLevel(fields_["protection"])
     return RunSpec(**fields_)
+
+
+def _options_to_dict(options: EngineOptions) -> dict:
+    """JSON-safe document of :class:`EngineOptions`.
+
+    ``trace`` may hold a live tracer and ``store`` a live
+    :class:`~repro.experiments.store.RunStore` — in-memory handles are
+    normalized to their path (or dropped) so the document stays
+    serializable and deterministic."""
+    data = {
+        f.name: getattr(options, f.name)
+        for f in dataclasses.fields(EngineOptions)
+    }
+    if data.get("trace") is not None and not isinstance(data["trace"], (str, bool)):
+        data["trace"] = None
+    store = data.get("store")
+    if isinstance(store, RunStore):
+        data["store"] = str(store.path)
+    elif isinstance(store, Path):
+        data["store"] = str(store)
+    return data
+
+
+def _options_from_dict(data: dict) -> EngineOptions:
+    known = {f.name for f in dataclasses.fields(EngineOptions)}
+    return EngineOptions(**{k: v for k, v in data.items() if k in known})
 
 
 def _failure_to_dict(failure: FailureRecord) -> dict:
@@ -336,6 +363,13 @@ def run(
     bulk path vs the bit-identical ``"precise"`` per-word oracle).  The
     legacy ``scale=`` / ``trace=`` keyword arguments still work but emit
     a :class:`DeprecationWarning`.
+
+    ``options.store`` points the run at a
+    :class:`~repro.experiments.store.RunStore`: an untraced run whose
+    point is already in the store (or in the legacy cache it reads
+    through) returns the stored record without simulating — such a
+    report carries ``result=None``, exactly like a deserialized one —
+    and an executed run is persisted to the store with provenance.
     """
     opts = options or EngineOptions()
     if scale is not _UNSET:
@@ -393,6 +427,16 @@ def run(
     )
     runner = _runner_for(scale)
     runner.adopt_app(bench)
+    store = RunStore.coerce(opts.store)
+    if store is not None and trace is None:
+        cached = store.load(spec.content_key(scale))
+        if cached is not None:
+            return RunReport(
+                spec=spec,
+                record=cached,
+                result=None,
+                app=runner.app(bench.name),
+            )
     try:
         record, result = runner._execute(
             bench.name,
@@ -408,6 +452,11 @@ def run(
     finally:
         if owned is not None:
             owned.close()
+    if store is not None:
+        store.store(
+            spec.content_key(scale), spec, scale, record,
+            provenance={"entry": "api.run"},
+        )
     return RunReport(
         spec=spec,
         record=record,
@@ -589,7 +638,7 @@ class SweepReport:
             "schema_version": SCHEMA_VERSION,
             "kind": "sweep_report",
             "app": {"name": self.app.name, "metric": self.app.metric},
-            "options": dataclasses.asdict(self.options),
+            "options": _options_to_dict(self.options),
             "points": [
                 {
                     "spec": _spec_to_dict(point.spec),
@@ -635,7 +684,7 @@ class SweepReport:
         return cls(
             app=AppInfo(**data["app"]),
             points=points,
-            options=EngineOptions(**data["options"]),
+            options=_options_from_dict(data["options"]),
             stats=_stats_from_dict(stats) if stats is not None else None,
         )
 
@@ -646,6 +695,40 @@ class SweepReport:
         :class:`AppInfo` stand-in.  Rejects documents whose
         ``schema_version`` this reader does not support."""
         return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_store(
+        cls, store: "RunStore | str | Path", campaign: str
+    ) -> "SweepReport":
+        """Rebuild a campaign's report straight from a :class:`RunStore`.
+
+        Points come back in the campaign's frozen grid order: completed
+        positions carry their stored record, positions whose latest word
+        is a failure row carry that
+        :class:`~repro.experiments.parallel.FailureRecord`, and
+        still-pending positions carry neither.  ``options`` are the ones
+        the campaign *began* with and ``stats`` is ``None`` (execution
+        timing is not part of what was computed), so the document is
+        deterministic: a store-resumed campaign and an uninterrupted one
+        serialize byte-identically.
+        """
+        store = RunStore.coerce(store)
+        status = store.campaign(campaign)
+        points = []
+        for position, (spec, key) in enumerate(zip(status.specs, status.keys)):
+            record = store.get(key)
+            failure = None
+            if record is None:
+                failure = store.failure_for(key)
+                if failure is not None:
+                    failure = dataclasses.replace(failure, index=position)
+            points.append(SweepPoint(spec=spec, record=record, failure=failure))
+        return cls(
+            app=AppInfo(name=status.app, metric=status.metric),
+            points=points,
+            options=_options_from_dict(status.options),
+            stats=None,
+        )
 
 
 def _parse_protection_axis(
@@ -697,6 +780,18 @@ def sweep(
     fault_model: FaultModelSpec | str | None = None,
     options: EngineOptions | None = None,
     collect_results: bool = False,
+    campaign: str | None = None,
+    # Deprecated loose-kwarg aliases over options=EngineOptions(...):
+    scale: float = _UNSET,
+    jobs: int = _UNSET,
+    cache: bool = _UNSET,
+    no_cache: bool = _UNSET,
+    trace_dir: str = _UNSET,
+    retries: int = _UNSET,
+    run_timeout: float = _UNSET,
+    retry_backoff: float = _UNSET,
+    keep_going: bool = _UNSET,
+    store: object = _UNSET,
 ) -> SweepReport:
     """Run one app over a ``protections x mtbes x seeds`` grid.
 
@@ -729,8 +824,50 @@ def sweep(
     the on-disk cache, which stores flat records only.  A prebuilt *app*
     forces the same path: worker processes and the cache only know how to
     rebuild registry apps by name.
+
+    ``options.store`` turns the sweep into a resumable **campaign**
+    recorded in a :class:`~repro.experiments.store.RunStore`: the grid is
+    registered under *campaign* (or a deterministic id derived from the
+    specs when ``campaign=None``), completed points become store hits on
+    a rerun, and :meth:`SweepReport.from_store` rebuilds the byte-exact
+    report later.  The in-process path (``collect_results=True`` or a
+    prebuilt app) ignores the store — raw results are not persistable.
+
+    The loose engine kwargs (``scale=``, ``jobs=``, ``cache=``,
+    ``no_cache=``, ``trace_dir=``, ``retries=``, ``run_timeout=``,
+    ``retry_backoff=``, ``keep_going=``, ``store=``) are deprecated
+    aliases: each emits a :class:`DeprecationWarning` and overrides the
+    matching :class:`~repro.experiments.EngineOptions` field
+    (``no_cache=True`` maps to ``cache=False``).
     """
     options = options or EngineOptions()
+    overrides: dict[str, object] = {}
+    aliases = {
+        "scale": scale,
+        "jobs": jobs,
+        "cache": cache,
+        "no_cache": no_cache,
+        "trace_dir": trace_dir,
+        "retries": retries,
+        "run_timeout": run_timeout,
+        "retry_backoff": retry_backoff,
+        "keep_going": keep_going,
+        "store": store,
+    }
+    for name, value in aliases.items():
+        if value is _UNSET:
+            continue
+        target = "cache" if name == "no_cache" else name
+        spelled = "cache=..." if name == "no_cache" else f"{name}=..."
+        warnings.warn(
+            f"repro.api.sweep({name}=...) is deprecated; "
+            f"pass options=EngineOptions({spelled})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        overrides[target] = (not value) if name == "no_cache" else value
+    if overrides:
+        options = replace(options, **overrides)
     scale = options.scale if options.scale is not None else 1.0
     bench = resolve_app(app, scale=scale)
     levels = _parse_protection_axis(protections)
@@ -763,6 +900,9 @@ def sweep(
         points = _sweep_in_process(bench, specs, scale, options, collect_results)
         return SweepReport(app=bench, points=points, options=options)
 
+    run_store = RunStore.coerce(options.store)
+    if run_store is not None and campaign is None:
+        campaign = derive_campaign_id(specs, scale)
     runner = ParallelRunner(
         scale=scale,
         jobs=options.jobs,
@@ -773,6 +913,16 @@ def sweep(
         retry_backoff=options.retry_backoff,
         strict=not options.keep_going,
     )
+    if run_store is not None:
+        run_store.begin_campaign(
+            campaign,
+            specs,
+            scale,
+            app=bench.name,
+            metric=bench.metric,
+            options=_options_to_dict(options),
+        )
+        runner.attach_store(run_store, campaign=campaign)
     records = runner.run_specs(specs)
     failures = {f.index: f for f in runner.last_stats.failures}
     points = [

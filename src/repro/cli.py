@@ -16,6 +16,17 @@ Commands:
   --output FILE`` (same summary block as the live sweep).
 * ``trace`` — summarize or tail a JSONL trace file.
 * ``cache`` — inspect or clear the on-disk result cache.
+* ``store`` — the SQLite result store: ``stats``, ``query`` (filter by
+  app/protection/mtbe/seed/fault-model), ``gc`` (prune superseded
+  failures + orphaned files), ``import`` (one-shot legacy-cache
+  migration), ``export`` (JSONL dump).
+
+``sweep --store [PATH]`` records the sweep as a resumable *campaign* in
+the store: every completed point is flushed as it finishes, so after a
+crash or Ctrl-C ``sweep --store PATH --resume CAMPAIGN`` (the campaign id
+is printed, and derived deterministically from the grid) re-runs only
+what is missing — at any ``--jobs`` value — and renders the same report
+the uninterrupted sweep would have.
 
 ``run`` and ``sweep`` take ``--exec-mode {fast,precise}``: the quiet-span
 fast path (default) or the per-word precise oracle — bit-identical by
@@ -49,6 +60,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.aggregate import summarize
 from repro.experiments.registry import figure_names, figure_specs, resolve_figure
+from repro.experiments.store import RunStore, derive_campaign_id
 from repro.experiments.report import db_or_errorfree, format_table
 from repro.machine.faults import FAULT_MODELS, FaultModelSpec, fault_model_names
 from repro.machine.protection import ProtectionLevel
@@ -224,7 +236,23 @@ def _sweep_summary(
     return f"{header}\n{table}"
 
 
+def _sweep_store(args: argparse.Namespace) -> RunStore | None:
+    """The store a ``sweep`` command line selects (``--campaign`` /
+    ``--resume`` without ``--store`` imply the default store)."""
+    choice = args.store
+    if choice is None and (args.campaign is not None or args.resume is not None):
+        choice = True
+    return RunStore.coerce(choice)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    store = _sweep_store(args)
+    if args.resume is not None:
+        return _sweep_resume(args, store)
+    if args.app is None:
+        print("repro sweep: an app is required (or --resume CAMPAIGN)",
+              file=sys.stderr)
+        return 2
     protection = ProtectionLevel.parse(args.protection)
     runner = ParallelRunner(
         scale=args.scale,
@@ -250,14 +278,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for mtbe in ladder
         for seed in range(args.seeds)
     ]
+    campaign = None
+    if store is not None:
+        campaign = args.campaign or derive_campaign_id(specs, args.scale)
+        store.begin_campaign(
+            campaign,
+            specs,
+            args.scale,
+            app=args.app,
+            metric=app.metric,
+            options=api._options_to_dict(_sweep_options(args)),
+        )
+        runner.attach_store(store, campaign=campaign)
+        print(f"[sweep] campaign {campaign} in {store.path}", file=sys.stderr)
     try:
         records = runner.run_specs(specs)
     except KeyboardInterrupt:
-        # Completed points are already flushed to the result cache, so a
-        # re-run resumes from here; report what survived and exit 130.
+        # Completed points are already flushed to the result cache/store,
+        # so a re-run resumes from here; report what survived, exit 130.
         print("\n[sweep] interrupted — completed runs are cached", file=sys.stderr)
         if runner.last_stats is not None:
             print(f"[sweep] {runner.last_stats.summary()}", file=sys.stderr)
+        if campaign is not None:
+            print(
+                f"[sweep] resume with: repro sweep --store {store.path} "
+                f"--resume {campaign}",
+                file=sys.stderr,
+            )
         return 130
     except SweepRunError as error:
         print(f"[sweep] aborted: {error}", file=sys.stderr)
@@ -288,26 +335,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.trace_dir is not None:
         print(f"traces under {args.trace_dir}")
     if args.output is not None:
-        stats = runner.last_stats
-        failures = {f.index: f for f in stats.failures} if stats else {}
-        report = api.SweepReport(
-            app=app,
-            points=[
-                api.SweepPoint(spec=spec, record=record, failure=failures.get(i))
-                for i, (spec, record) in enumerate(zip(specs, records))
-            ],
-            options=EngineOptions(
-                scale=args.scale,
-                jobs=args.jobs,
-                cache=_cache_option(args),
-                trace_dir=args.trace_dir,
-                exec_mode=args.exec_mode,
-                retries=args.retries,
-                run_timeout=args.run_timeout,
-                keep_going=args.keep_going,
-            ),
-            stats=stats,
-        )
+        if campaign is not None:
+            # The store document is canonical: rebuilt purely from what was
+            # computed, so an interrupted-then-resumed campaign and an
+            # uninterrupted one write byte-identical reports.
+            report = api.SweepReport.from_store(store, campaign)
+        else:
+            stats = runner.last_stats
+            failures = {f.index: f for f in stats.failures} if stats else {}
+            report = api.SweepReport(
+                app=app,
+                points=[
+                    api.SweepPoint(spec=spec, record=record, failure=failures.get(i))
+                    for i, (spec, record) in enumerate(zip(specs, records))
+                ],
+                options=_sweep_options(args),
+                stats=stats,
+            )
         try:
             Path(args.output).write_text(report.to_json() + "\n")
         except OSError as error:
@@ -317,21 +361,87 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    """Re-render a serialized sweep report (``repro sweep --output``)."""
+def _sweep_options(args: argparse.Namespace) -> EngineOptions:
+    """The :class:`EngineOptions` a ``sweep`` command line spells."""
+    store = args.store
+    if store is None and (args.campaign is not None or args.resume is not None):
+        store = True
+    return EngineOptions(
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=_cache_option(args),
+        trace_dir=args.trace_dir,
+        exec_mode=args.exec_mode,
+        retries=args.retries,
+        run_timeout=args.run_timeout,
+        keep_going=args.keep_going,
+        store=store,
+    )
+
+
+def _sweep_resume(args: argparse.Namespace, store: RunStore) -> int:
+    """Resume a stored campaign: run only its missing points, then render
+    (and optionally write) the campaign's canonical report."""
     try:
-        text = Path(args.file).read_text()
-    except OSError as error:
-        print(f"cannot read report: {error}", file=sys.stderr)
-        return 1
+        status = store.campaign(args.resume)
+    except ValueError as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+    print(f"[sweep] resuming {status.summary()}", file=sys.stderr)
+    runner = ParallelRunner(
+        scale=status.scale,
+        jobs=args.jobs,
+        cache=_cache_option(args),
+        progress=_progress_printer() if args.progress else None,
+        trace_dir=args.trace_dir,
+        retries=args.retries,
+        run_timeout=args.run_timeout,
+        strict=not args.keep_going,
+    )
+    runner.attach_store(store, campaign=args.resume)
     try:
-        report = api.SweepReport.from_json(text)
-    except (ValueError, KeyError, TypeError) as error:
-        print(f"malformed report: {error}", file=sys.stderr)
+        # The full frozen grid goes back through the engine: completed
+        # positions are store hits (zero re-execution), pending ones run.
+        runner.run_specs(list(status.specs))
+    except KeyboardInterrupt:
+        print("\n[sweep] interrupted — completed runs are stored", file=sys.stderr)
+        if runner.last_stats is not None:
+            print(f"[sweep] {runner.last_stats.summary()}", file=sys.stderr)
+        print(
+            f"[sweep] resume with: repro sweep --store {store.path} "
+            f"--resume {args.resume}",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepRunError as error:
+        print(f"[sweep] aborted: {error}", file=sys.stderr)
+        print(
+            "[sweep] use --keep-going to finish the remaining points, "
+            "--retries/--run-timeout to tolerate transient faults",
+            file=sys.stderr,
+        )
         return 1
+    report = api.SweepReport.from_store(store, args.resume)
+    _render_report(report)
+    if runner.last_stats is not None:
+        print(f"[sweep] {runner.last_stats.summary()}")
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(report.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write report: {error}", file=sys.stderr)
+            return 1
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _render_report(report: "api.SweepReport") -> None:
+    """Print a report's summary blocks (one per protection level) plus its
+    engine stats — the shared renderer behind ``repro report`` and the
+    store-backed ``repro sweep --resume``."""
     if not report.points:
         print("empty report: no sweep points")
-        return 0
+        return
     seeds = len({point.spec.seed for point in report.points})
     for level in report.protections:
         points = [p for p in report.points if p.spec.protection is level]
@@ -355,6 +465,21 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"[sweep] {report.stats.summary()}")
         for failure in report.stats.failures:
             print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Re-render a serialized sweep report (``repro sweep --output``)."""
+    try:
+        text = Path(args.file).read_text()
+    except OSError as error:
+        print(f"cannot read report: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = api.SweepReport.from_json(text)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"malformed report: {error}", file=sys.stderr)
+        return 1
+    _render_report(report)
     return 0
 
 
@@ -409,6 +534,94 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached result(s) from {cache.root}")
     else:
         print(f"{len(cache)} cached result(s) under {cache.root}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    store = RunStore(args.db)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ["path", stats.path],
+            ["runs", stats.runs],
+            ["failures", stats.failures],
+            ["campaigns", stats.campaigns],
+            ["size", f"{stats.size_bytes:,} bytes"],
+        ]
+        rows += [[f"runs ({app})", count] for app, count in stats.by_app.items()]
+        print(format_table(["metric", "value"], rows))
+        for campaign_id in store.campaign_ids():
+            print(f"  {store.campaign(campaign_id).summary()}")
+        return 0
+    if args.action == "query":
+        rows = store.query(
+            app=args.app,
+            protection=(
+                ProtectionLevel.parse(args.protection).value
+                if args.protection is not None
+                else None
+            ),
+            mtbe=args.mtbe,
+            seed=args.seed,
+            fault_model=args.fault_model,
+            limit=args.limit,
+        )
+        if args.json:
+            for row in rows:
+                print(
+                    json.dumps(
+                        {
+                            "key": row.key,
+                            "app": row.spec.app,
+                            "protection": row.spec.protection.value,
+                            "mtbe": row.spec.mtbe,
+                            "seed": row.spec.seed,
+                            "quality_db": row.record.quality_db,
+                            "data_loss_ratio": row.record.data_loss_ratio,
+                            "provenance": row.provenance,
+                        },
+                        sort_keys=True,
+                    )
+                )
+            return 0
+        table = [
+            [
+                row.spec.app,
+                row.spec.protection.value,
+                "-" if row.spec.mtbe is None else f"{row.spec.mtbe:,.0f}",
+                row.spec.seed,
+                db_or_errorfree(row.record.quality_db),
+                f"{row.record.data_loss_ratio:.4f}",
+            ]
+            for row in rows
+        ]
+        print(format_table(
+            ["app", "protection", "MTBE", "seed", "quality", "loss"], table
+        ))
+        print(f"{len(rows)} row(s) in {store.path}")
+        return 0
+    if args.action == "gc":
+        collected = store.gc(trace_dirs=args.trace_dir or ())
+        print(f"[store] {collected.summary()}")
+        return 0
+    if args.action == "import":
+        imported = store.import_cache(args.cache)
+        source = args.cache or (
+            store.fallback.root if store.fallback is not None else "?"
+        )
+        print(f"imported {imported} run(s) from {source} into {store.path}")
+        return 0
+    # export
+    if args.output is not None:
+        try:
+            with open(args.output, "w") as stream:
+                count = store.export(stream)
+        except OSError as error:
+            print(f"cannot write export: {error}", file=sys.stderr)
+            return 1
+        print(f"exported {count} run(s) to {args.output}")
+    else:
+        store.export(sys.stdout)
     return 0
 
 
@@ -524,7 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.set_defaults(func=cmd_figure)
 
     sweep_parser = sub.add_parser("sweep", help="MTBE sweep of one benchmark")
-    sweep_parser.add_argument("app", choices=list(APP_ORDER))
+    sweep_parser.add_argument(
+        "app",
+        nargs="?",
+        default=None,
+        choices=list(APP_ORDER),
+        help="benchmark to sweep (omit with --resume: the campaign "
+        "remembers its grid)",
+    )
     sweep_parser.add_argument(
         "--mtbe", nargs="+", default=["64k", "256k", "1M", "4M"]
     )
@@ -549,6 +769,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="FILE",
         help="also write the sweep as a versioned JSON report "
         "(re-render it later with `repro report FILE`)",
+    )
+    sweep_parser.add_argument(
+        "--store", nargs="?", const=True, default=None, metavar="PATH",
+        help="record the sweep as a resumable campaign in the SQLite "
+        "result store (default path: .repro_store.sqlite / REPRO_STORE)",
+    )
+    sweep_parser.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign id to record under (default: derived from the "
+        "grid, so identical command lines resume each other); implies "
+        "--store",
+    )
+    sweep_parser.add_argument(
+        "--resume", default=None, metavar="ID",
+        help="resume a stored campaign: re-run only its missing points "
+        "and render the canonical report; implies --store",
     )
     _add_exec_mode_option(sweep_parser)
     _add_engine_options(sweep_parser)
@@ -577,6 +813,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, help="cache root (default: .repro_cache/)"
     )
     cache_parser.set_defaults(func=cmd_cache)
+
+    store_parser = sub.add_parser(
+        "store", help="inspect/maintain the SQLite result store"
+    )
+    store_parser.add_argument(
+        "action", choices=["stats", "query", "gc", "import", "export"]
+    )
+    store_parser.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="store database (default: .repro_store.sqlite / REPRO_STORE)",
+    )
+    store_parser.add_argument(
+        "--app", default=None, choices=list(APP_ORDER), help="query: app filter"
+    )
+    store_parser.add_argument(
+        "--protection", default=None, choices=list(PROTECTION_CHOICES),
+        help="query: protection filter",
+    )
+    store_parser.add_argument(
+        "--mtbe", type=_parse_mtbe, default=None, help="query: MTBE filter"
+    )
+    store_parser.add_argument(
+        "--seed", type=int, default=None, help="query: seed filter"
+    )
+    store_parser.add_argument(
+        "--fault-model", type=_parse_fault_model, default=None,
+        metavar="NAME[:P=V,...]", help="query: fault model filter",
+    )
+    store_parser.add_argument(
+        "--limit", type=_positive_int, default=None, help="query: row limit"
+    )
+    store_parser.add_argument(
+        "--json", action="store_true", help="query: one JSON object per row"
+    )
+    store_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="import: legacy cache root (default: .repro_cache/)",
+    )
+    store_parser.add_argument(
+        "--trace-dir", action="append", default=None, metavar="DIR",
+        help="gc: also sweep dangling traces under DIR (repeatable)",
+    )
+    store_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="export: write JSONL here instead of stdout",
+    )
+    store_parser.set_defaults(func=cmd_store)
     return parser
 
 

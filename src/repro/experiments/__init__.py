@@ -31,6 +31,12 @@ from repro.experiments.registry import (
     resolve_figure,
 )
 from repro.experiments.runner import RunRecord, SimulationRunner
+from repro.experiments.store import (
+    CampaignStatus,
+    RunStore,
+    StoredRun,
+    derive_campaign_id,
+)
 from repro.experiments.sweeps import (
     FRAME_SCALES,
     MTBE_LADDER_LOSS,
@@ -61,6 +67,7 @@ __all__ = [
     "MTBE_LADDER_LOSS",
     "MTBE_LADDER_QUALITY",
     "PAPER_SEEDS",
+    "CampaignStatus",
     "EngineOptions",
     "FailureRecord",
     "FigureArtifact",
@@ -69,10 +76,13 @@ __all__ = [
     "ResultCache",
     "RunRecord",
     "RunSpec",
+    "RunStore",
     "RunTimeoutError",
     "SimulationRunner",
+    "StoredRun",
     "SweepRunError",
     "SweepStats",
+    "derive_campaign_id",
     "figure_names",
     "figure_specs",
     "register_figure",

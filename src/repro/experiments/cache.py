@@ -77,6 +77,62 @@ def record_from_dict(data: dict) -> RunRecord:
     return RunRecord(**fields)
 
 
+def spec_to_dict(spec) -> dict:
+    """JSON-safe document of a :class:`~repro.experiments.parallel.RunSpec`."""
+    data = dataclasses.asdict(spec)
+    data["protection"] = spec.protection.value
+    return data
+
+
+def spec_from_dict(data: dict):
+    """Inverse of :func:`spec_to_dict`."""
+    from repro.experiments.parallel import RunSpec
+
+    fields = dict(data)
+    fields["protection"] = ProtectionLevel(fields["protection"])
+    return RunSpec(**fields)
+
+
+def sweep_orphans(
+    root: str | Path, live_keys: "set[str] | frozenset[str] | None" = None
+) -> tuple[int, int]:
+    """Shared orphan collector for every on-disk result root.
+
+    Removes ``*.tmp`` write stragglers (an interrupted or crashed atomic
+    write) anywhere under *root*, plus — when *live_keys* is given —
+    ``<key>.jsonl`` trace files whose key is no longer live, and any shard
+    directories left empty.  Both :meth:`ResultCache.clear` and ``repro
+    store gc`` funnel through this one code path, so either entry point
+    collects the same debris.  Returns ``(tmp_removed, traces_removed)``.
+    """
+    root = Path(root)
+    tmp_removed = traces_removed = 0
+    if not root.is_dir():
+        return tmp_removed, traces_removed
+    for straggler in root.glob("**/*.tmp"):
+        try:
+            straggler.unlink()
+            tmp_removed += 1
+        except OSError:
+            pass
+    if live_keys is not None:
+        for trace in root.glob("**/*.jsonl"):
+            if trace.stem in live_keys:
+                continue
+            try:
+                trace.unlink()
+                traces_removed += 1
+            except OSError:
+                pass
+    for shard in root.iterdir():
+        if shard.is_dir():
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+    return tmp_removed, traces_removed
+
+
 class ResultCache:
     """JSON file cache of completed :class:`RunRecord`s, keyed by spec hash."""
 
@@ -152,11 +208,32 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def entries(self):
+        """Iterate ``(key, payload)`` over every readable cache file.
+
+        *payload* is the stored ``{"spec": ..., "scale": ..., "record": ...}``
+        document; corrupt files are skipped.  ``repro store import`` walks
+        this to migrate a legacy cache into a :class:`RunStore`.
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+                payload["record"]  # noqa: B018 — reject entries with no record
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            yield path.stem, payload
+
     def clear(self) -> int:
         """Delete all cached entries; returns how many were removed.
 
-        Also sweeps any ``*.tmp`` stragglers an interrupted or crashed
-        writer left behind (they are not counted as removed entries).
+        Also sweeps write stragglers and dangling trace files through the
+        shared :func:`sweep_orphans` path (the same collector ``repro
+        store gc`` uses): ``*.tmp`` leftovers of interrupted writers, and
+        — since every entry is being dropped — any ``<key>.jsonl`` traces
+        shipped next to them.  Orphans are not counted as removed entries.
         """
         removed = 0
         if not self.root.is_dir():
@@ -167,15 +244,5 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        for straggler in self.root.glob("*/*.tmp"):
-            try:
-                straggler.unlink()
-            except OSError:
-                pass
-        for shard in self.root.iterdir():
-            if shard.is_dir():
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass
+        sweep_orphans(self.root, live_keys=frozenset())
         return removed

@@ -29,9 +29,11 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.apps.base import BenchmarkApp
+from repro.experiments.options import EngineOptions
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.report import format_table
 from repro.experiments.runner import SimulationRunner
+from repro.experiments.store import RunStore, derive_campaign_id
 from repro.machine.protection import ProtectionLevel
 from repro.quality.metrics import QUALITY_CAP_DB
 from repro.experiments.registry import register_figure
@@ -121,6 +123,8 @@ def run_campaign(
     spec: RunSpec | None = None,
     runner: SimulationRunner | None = None,
     jobs: int | None = None,
+    store: "RunStore | str | bool | None" = None,
+    campaign_id: str | None = None,
 ) -> CampaignResult:
     """Inject faults across *n_runs* seeds and classify every outcome.
 
@@ -130,6 +134,13 @@ def run_campaign(
     CommGuard knobs / error-model overrides for every run; its
     app/protection/mtbe/seed fields are overwritten by the campaign's.
     When *runner* is omitted a serial in-process engine is used.
+
+    *store* records the campaign in a
+    :class:`~repro.experiments.store.RunStore` (requires a
+    :class:`ParallelRunner`): completed seeds become store hits on a
+    rerun, so an interrupted campaign resumes where it stopped.
+    *campaign_id* names the campaign row; omitted, a deterministic id is
+    derived from the grid, so re-running the same call resumes it.
     """
     thresholds = thresholds or OutcomeThresholds()
     if runner is None:
@@ -153,6 +164,19 @@ def run_campaign(
         )
         for seed in range(seed_base, seed_base + n_runs)
     ]
+    run_store = RunStore.coerce(store)
+    if run_store is not None:
+        if not isinstance(runner, ParallelRunner):
+            raise ValueError(
+                "store-backed campaigns need a ParallelRunner "
+                f"(got {type(runner).__name__})"
+            )
+        if campaign_id is None:
+            campaign_id = derive_campaign_id(specs, runner.scale)
+        run_store.begin_campaign(
+            campaign_id, specs, runner.scale, app=app_name, metric="snr"
+        )
+        runner.attach_store(run_store, campaign=campaign_id)
     records = runner.run_specs(specs, jobs=jobs)
 
     result = CampaignResult(app=app_name, protection=protection, mtbe=mtbe)
@@ -183,12 +207,23 @@ def compare_protections(
         ProtectionLevel.PPU_RELIABLE_QUEUE,
         ProtectionLevel.COMMGUARD,
     ),
+    options: EngineOptions | None = None,
 ) -> dict[ProtectionLevel, CampaignResult]:
-    """One campaign per protection level, same app and error process."""
+    """One campaign per protection level, same app and error process.
+
+    *options* is the shared :class:`EngineOptions` spelling of the engine
+    knobs; when given it supersedes the loose ``scale``/``jobs``/``cache``
+    arguments and its ``store`` makes every per-protection campaign
+    resumable.
+    """
+    if options is not None:
+        scale = options.scale if options.scale is not None else scale
+        jobs, cache = options.jobs, options.cache
+    store = options.store if options is not None else None
     runner = runner or ParallelRunner(scale=scale, jobs=jobs, cache=cache)
     return {
         protection: run_campaign(
-            app_name, protection, mtbe, n_runs=n_runs, runner=runner
+            app_name, protection, mtbe, n_runs=n_runs, runner=runner, store=store
         )
         for protection in protections
     }
@@ -201,9 +236,11 @@ def main(
     scale: float = 1.0,
     jobs: int | None = None,
     cache=None,
+    options: EngineOptions | None = None,
 ) -> str:
     results = compare_protections(
-        app_name, mtbe=mtbe, n_runs=n_runs, scale=scale, jobs=jobs, cache=cache
+        app_name, mtbe=mtbe, n_runs=n_runs, scale=scale, jobs=jobs, cache=cache,
+        options=options,
     )
     rows = []
     for protection, campaign in results.items():

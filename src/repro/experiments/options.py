@@ -43,6 +43,15 @@ class EngineOptions:
     jitter), and ``keep_going=True`` turns exhausted failures into
     structured :class:`~repro.experiments.parallel.FailureRecord`\\ s
     instead of raising on the first one (strict mode, the default).
+
+    ``store`` selects the :class:`~repro.experiments.store.RunStore` —
+    the SQLite system of record that supersedes the flat file cache: a
+    database path, ``True`` for the default location
+    (``.repro_store.sqlite`` / ``REPRO_STORE``), a ready
+    :class:`~repro.experiments.store.RunStore`, or ``None`` (default) to
+    stay on the flat cache.  With a store, lookups go store-first with
+    the legacy ``.repro_cache/`` as a read-through fallback, and sweeps
+    become resumable campaigns.
     """
 
     scale: float | None = None
@@ -55,3 +64,4 @@ class EngineOptions:
     run_timeout: float | None = None
     retry_backoff: float = 0.0
     keep_going: bool = False
+    store: object | None = None

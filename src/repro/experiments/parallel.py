@@ -19,6 +19,10 @@ points out:
 * An optional on-disk :class:`~repro.experiments.cache.ResultCache` under
   ``.repro_cache/``: re-running a figure, or resuming an interrupted
   campaign, skips every already-completed point.
+* An optional :class:`~repro.experiments.store.RunStore` — the SQLite
+  system of record superseding the flat cache: store-first lookups with
+  legacy read-through, provenance-stamped rows, structured failure
+  records, and resumable campaign bookkeeping.
 
 Worker count resolution: an explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
@@ -46,6 +50,7 @@ from typing import Callable, Sequence
 
 from repro.core.config import CommGuardConfig
 from repro.experiments.cache import ResultCache, spec_key
+from repro.experiments.store import RunStore
 from repro.experiments.runner import (
     RunRecord,
     SimulationRunner,
@@ -396,6 +401,19 @@ class ParallelRunner(SimulationRunner):
         ``hook(spec, attempt)`` in the executing process immediately
         before each attempt.  It may raise, outlast the run timeout, or
         kill its process to exercise the fault-tolerance layer.
+    ``store``
+        Optional :class:`~repro.experiments.store.RunStore` (or path /
+        ``True`` for the default location): the SQLite system of record
+        that supersedes the flat cache.  Lookups go store-first with the
+        legacy cache as a read-through fallback, completed records are
+        written to the store with provenance, and exhausted failures are
+        filed as structured rows.  When both *store* and *cache* are
+        given, the cache becomes the store's read-through fallback.
+    ``campaign``
+        Optional campaign id: :meth:`run_specs` registers its grid under
+        this id in the store (idempotently), making the sweep a resumable
+        job — an interrupted campaign re-run with the same id restarts
+        exactly where it stopped, at any ``jobs`` value.
     """
 
     def __init__(
@@ -412,6 +430,8 @@ class ParallelRunner(SimulationRunner):
         strict: bool = True,
         fault_hook=None,
         metrics: MetricsRegistry | None = None,
+        store: RunStore | str | bool | None = None,
+        campaign: str | None = None,
     ) -> None:
         super().__init__(scale=scale)
         if retries < 0:
@@ -430,6 +450,24 @@ class ParallelRunner(SimulationRunner):
         self.fault_hook = fault_hook
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.last_stats: SweepStats | None = None
+        self.store: RunStore | None = None
+        self.campaign = campaign
+        if store is not None and store is not False:
+            self.attach_store(RunStore.coerce(store), campaign=campaign)
+
+    def attach_store(self, store: RunStore, campaign: str | None = None) -> None:
+        """Make *store* this runner's system of record.
+
+        The store replaces the flat cache as the lookup/persist backend;
+        a previously configured :class:`ResultCache` (if any) becomes the
+        store's legacy read-through fallback instead.
+        """
+        if self.cache is not None and not isinstance(self.cache, RunStore):
+            store.fallback = self.cache
+        self.store = store
+        self.cache = store
+        if campaign is not None:
+            self.campaign = campaign
 
     # -- sweep execution -------------------------------------------------------
 
@@ -459,6 +497,11 @@ class ParallelRunner(SimulationRunner):
         stats = SweepStats(total=len(specs), jobs=jobs)
         wall_before = time.perf_counter()
         records: list[RunRecord | None] = [None] * len(specs)
+
+        if self.store is not None:
+            self.store.set_context(jobs=jobs, campaign=self.campaign)
+            if self.campaign is not None and specs:
+                self.store.begin_campaign(self.campaign, specs, self.scale)
 
         pending: list[tuple[int, RunSpec, str | None]] = []
         for index, spec in enumerate(specs):
@@ -695,6 +738,10 @@ class ParallelRunner(SimulationRunner):
         )
         stats.failed += 1
         stats.failures.append(record)
+        if self.store is not None:
+            self.store.record_failure(
+                record, campaign=self.campaign, scale=self.scale
+            )
         self.metrics.inc("sweep_run_failures", app=spec.app, failure=failure)
         self._emit(
             RunFailed(
@@ -713,7 +760,14 @@ class ParallelRunner(SimulationRunner):
         records[index] = record
         stats.executed += 1
         self.metrics.inc("sweep_runs_executed", app=spec.app)
-        if self.cache is not None and key is not None:
+        if self.store is not None and key is not None:
+            self.store.store(
+                key, spec, self.scale, record,
+                provenance={
+                    "wall_seconds": round(time.perf_counter() - wall_before, 3)
+                },
+            )
+        elif self.cache is not None and key is not None:
             self.cache.store(key, spec, self.scale, record)
         self._tick(stats, wall_before)
 

@@ -50,17 +50,26 @@ class FigureSpec:
         return (self.name, *self.aliases)
 
     def run(self, options: EngineOptions | None = None) -> FigureArtifact:
-        """Regenerate the artifact through the shared engine options."""
+        """Regenerate the artifact through the shared engine options.
+
+        A harness whose ``main()`` accepts ``options`` receives the whole
+        :class:`EngineOptions` (the preferred convention — store-backed
+        resume included); legacy harnesses get whatever subset of
+        ``(scale, jobs, cache)`` they support.
+        """
         options = options or EngineOptions()
         module = importlib.import_module(self.module)
         supported = inspect.signature(module.main).parameters
         kwargs = {}
-        if options.scale is not None and "scale" in supported:
-            kwargs["scale"] = options.scale
-        if "jobs" in supported:
-            kwargs["jobs"] = options.jobs
-        if "cache" in supported:
-            kwargs["cache"] = options.cache
+        if "options" in supported:
+            kwargs["options"] = options
+        else:
+            if options.scale is not None and "scale" in supported:
+                kwargs["scale"] = options.scale
+            if "jobs" in supported:
+                kwargs["jobs"] = options.jobs
+            if "cache" in supported:
+                kwargs["cache"] = options.cache
         return FigureArtifact(name=self.name, text=module.main(**kwargs), options=options)
 
 

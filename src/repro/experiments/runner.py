@@ -84,8 +84,8 @@ class SimulationRunner:
     ) -> tuple[RunRecord, RunResult]:
         """Deprecated: use :func:`repro.api.run` (or :meth:`run_spec`)."""
         warnings.warn(
-            "SimulationRunner.execute() is deprecated; use repro.api.run() "
-            "or SimulationRunner.run_spec()",
+            "SimulationRunner.execute() is deprecated and will be removed in "
+            "repro 2.0; use repro.api.run() or SimulationRunner.run_spec()",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -186,8 +186,8 @@ class SimulationRunner:
     def record(self, *args, **kwargs) -> RunRecord:
         """Deprecated: use :func:`repro.api.run` (or :meth:`execute_spec`)."""
         warnings.warn(
-            "SimulationRunner.record() is deprecated; use repro.api.run() "
-            "or SimulationRunner.execute_spec()",
+            "SimulationRunner.record() is deprecated and will be removed in "
+            "repro 2.0; use repro.api.run() or SimulationRunner.execute_spec()",
             DeprecationWarning,
             stacklevel=2,
         )

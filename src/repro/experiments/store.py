@@ -1,0 +1,759 @@
+"""RunStore: the SQLite-backed system of record for sweep results.
+
+The flat ``.repro_cache/`` file cache memoizes completed runs, but it has
+no cross-process coordination, no query surface, and no notion of a
+*campaign* — a grid of specs that should survive crashes and resume where
+it stopped.  This module supersedes it with a single WAL-mode SQLite
+database holding:
+
+``runs``
+    One row per completed point, keyed by the *existing*
+    :func:`~repro.experiments.cache.spec_key` content hash (cache keys and
+    the bit-identity contracts are unchanged), storing the serialized
+    :class:`~repro.experiments.runner.RunRecord` plus provenance — engine
+    options, fault model, ``git describe``, wall time, writer pid.
+``failures``
+    Structured :class:`~repro.experiments.parallel.FailureRecord` rows
+    from fault-tolerant sweeps (a later successful run supersedes them;
+    :meth:`RunStore.gc` prunes the superseded rows).
+``campaigns`` / ``campaign_specs``
+    Resumable jobs: a campaign freezes its ordered spec grid once, and
+    done/failed/pending status is *derived* from the ``runs`` and
+    ``failures`` tables by key — so an interrupted or crashed campaign
+    restarts exactly where it stopped, at any ``--jobs`` value.
+
+Concurrency: the database is opened in WAL mode with a generous busy
+timeout, connections are per-thread, and every write is a single
+transaction — many writer processes (or threads) can share one store
+without ``database is locked`` failures.  Reads fall back to a legacy
+:class:`~repro.experiments.cache.ResultCache` read-through (adopting hits
+into the store), and :meth:`RunStore.import_cache` migrates a whole
+pre-existing cache in one shot.
+
+The store is deliberately duck-compatible with :class:`ResultCache`
+(``load``/``store``/``__len__``/``clear``), so the parallel engine treats
+it as a drop-in — richer — cache backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.experiments.cache import (
+    ResultCache,
+    record_from_dict,
+    record_to_dict,
+    spec_from_dict,
+    spec_key,
+    spec_to_dict,
+    sweep_orphans,
+)
+from repro.experiments.runner import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import FailureRecord, RunSpec
+
+#: Bump when the table layout changes incompatibly; a store written by a
+#: newer schema is rejected with an error naming both versions.
+STORE_SCHEMA_VERSION = 1
+
+DEFAULT_STORE_PATH = ".repro_store.sqlite"
+
+ENV_STORE_PATH = "REPRO_STORE"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    key         TEXT PRIMARY KEY,
+    app         TEXT NOT NULL,
+    protection  TEXT NOT NULL,
+    mtbe        REAL,
+    seed        INTEGER NOT NULL,
+    fault_model TEXT NOT NULL,
+    scale       TEXT NOT NULL,
+    spec        TEXT NOT NULL,
+    record      TEXT NOT NULL,
+    provenance  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_grid ON runs (app, protection, mtbe, seed);
+CREATE TABLE IF NOT EXISTS failures (
+    id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    key      TEXT NOT NULL,
+    campaign TEXT,
+    app      TEXT NOT NULL,
+    seed     INTEGER NOT NULL,
+    failure  TEXT NOT NULL,
+    message  TEXT NOT NULL,
+    attempts INTEGER NOT NULL,
+    spec     TEXT NOT NULL,
+    written_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS failures_key ON failures (key);
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign   TEXT PRIMARY KEY,
+    app        TEXT NOT NULL,
+    metric     TEXT NOT NULL,
+    scale      TEXT NOT NULL,
+    options    TEXT NOT NULL,
+    total      INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaign_specs (
+    campaign TEXT NOT NULL,
+    position INTEGER NOT NULL,
+    key      TEXT NOT NULL,
+    spec     TEXT NOT NULL,
+    PRIMARY KEY (campaign, position)
+);
+CREATE INDEX IF NOT EXISTS campaign_keys ON campaign_specs (campaign, key);
+"""
+
+_GIT_DESCRIBE: str | None = None
+_GIT_DESCRIBED = False
+
+
+def _git_describe() -> str | None:
+    """``git describe --always --dirty`` of the working directory, cached
+    per process (provenance only — never part of any key or report)."""
+    global _GIT_DESCRIBE, _GIT_DESCRIBED
+    if not _GIT_DESCRIBED:
+        _GIT_DESCRIBED = True
+        try:
+            out = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            _GIT_DESCRIBE = out.stdout.strip() or None if out.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_DESCRIBE = None
+    return _GIT_DESCRIBE
+
+
+def derive_campaign_id(specs: Sequence["RunSpec"], scale: float) -> str:
+    """Deterministic campaign id of a grid: same specs + scale -> same id.
+
+    Re-running an identical command line therefore lands in the same
+    campaign row and resumes it, with no id bookkeeping by the user.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(float(scale)).encode())
+    for spec in specs:
+        digest.update(spec.content_key(scale).encode())
+    return f"c-{digest.hexdigest()[:12]}"
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One queryable row of the ``runs`` table."""
+
+    key: str
+    spec: "RunSpec"
+    scale: float
+    record: RunRecord
+    provenance: dict
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Derived progress of one campaign: which grid positions are done
+    (a ``runs`` row exists for their key), failed (latest word is a
+    ``failures`` row), or still pending."""
+
+    campaign: str
+    app: str
+    metric: str
+    scale: float
+    options: dict
+    specs: "tuple[RunSpec, ...]"
+    keys: tuple[str, ...]
+    done: frozenset[int]
+    failed: frozenset[int]
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def pending(self) -> tuple[int, ...]:
+        return tuple(
+            i for i in range(self.total) if i not in self.done and i not in self.failed
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.campaign}: {len(self.done)}/{self.total} done, "
+            f"{len(self.failed)} failed, {len(self.pending)} pending"
+        )
+
+
+@dataclass
+class StoreStats:
+    """Snapshot of a store's contents (``repro store stats``)."""
+
+    path: Path
+    runs: int = 0
+    failures: int = 0
+    campaigns: int = 0
+    by_app: dict = field(default_factory=dict)
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What one :meth:`RunStore.gc` pass collected."""
+
+    superseded_failures: int
+    tmp_stragglers: int
+    dangling_traces: int
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.superseded_failures} superseded failure(s), "
+            f"{self.tmp_stragglers} .tmp straggler(s), "
+            f"{self.dangling_traces} dangling trace(s)"
+        )
+
+
+class RunStore:
+    """Concurrent-safe, queryable result database keyed by ``spec_key``.
+
+    ``path``
+        Database file (default ``.repro_store.sqlite``, or the
+        ``REPRO_STORE`` environment variable).  Parent directories are
+        created on demand.
+    ``fallback``
+        Legacy :class:`ResultCache` consulted read-through when a key has
+        no row (default: the default ``.repro_cache/`` location).  Hits
+        are adopted into the store, so the legacy cache migrates itself
+        as it is read; ``False`` disables the fallback.
+
+    One instance may be shared across threads (connections are
+    per-thread); across processes, point every writer at the same path —
+    WAL mode plus a busy timeout serializes their transactions.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        fallback: ResultCache | str | Path | bool | None = True,
+    ) -> None:
+        if path is None:
+            path = os.environ.get(ENV_STORE_PATH) or DEFAULT_STORE_PATH
+        self.path = Path(path)
+        self.fallback = ResultCache.coerce(fallback)
+        #: Extra provenance merged into every stored row (engine options,
+        #: campaign id, ...); set by the engine via :meth:`set_context`.
+        self._context: dict = {}
+        self._local = threading.local()
+        self._init_schema()
+
+    @classmethod
+    def coerce(
+        cls, store: "RunStore | str | Path | bool | None"
+    ) -> "RunStore | None":
+        """Normalize a user-facing store option (mirrors
+        :meth:`ResultCache.coerce`): ``None``/``False`` means no store,
+        ``True`` the default path, a path selects a file, a ready
+        :class:`RunStore` passes through."""
+        if store is None or store is False:
+            return None
+        if store is True:
+            return cls()
+        if isinstance(store, cls):
+            return store
+        return cls(store)
+
+    # -- connection plumbing ---------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=60.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=60000")
+            self._local.conn = conn
+        return conn
+
+    def _init_schema(self) -> None:
+        conn = self._conn()
+        with conn:
+            conn.executescript(_SCHEMA)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            elif int(row[0]) > STORE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"store {self.path} has schema version {row[0]}; this "
+                    f"reader supports up to {STORE_SCHEMA_VERSION}"
+                )
+
+    def close(self) -> None:
+        """Close this thread's connection (other threads' stay open)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def set_context(self, **context) -> None:
+        """Merge engine-level provenance (options, campaign, jobs) into
+        every subsequently stored row."""
+        self._context.update(context)
+
+    # -- the ResultCache-compatible surface ------------------------------------
+
+    def load(self, key: str) -> RunRecord | None:
+        """The stored record for *key* — store row first, then the legacy
+        read-through fallback (adopting the hit into the store)."""
+        row = self._conn().execute(
+            "SELECT record FROM runs WHERE key=?", (key,)
+        ).fetchone()
+        if row is not None:
+            try:
+                return record_from_dict(json.loads(row[0]))
+            except (ValueError, KeyError, TypeError):
+                return None
+        return self._load_legacy(key)
+
+    def _load_legacy(self, key: str) -> RunRecord | None:
+        if self.fallback is None:
+            return None
+        path = self.fallback.path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            record = record_from_dict(payload["record"])
+            spec = spec_from_dict(payload["spec"])
+            scale = float(payload["scale"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self.store(
+            key, spec, scale, record, provenance={"imported_from": str(path)}
+        )
+        return record
+
+    def store(
+        self,
+        key: str,
+        spec: "RunSpec",
+        scale: float,
+        record: RunRecord,
+        provenance: dict | None = None,
+    ) -> None:
+        """Persist one completed record (idempotent: last write wins for a
+        key, and identical reruns write identical records by the
+        determinism contract)."""
+        prov = {
+            "written_at": time.time(),
+            "worker": os.getpid(),
+            "git": _git_describe(),
+            **self._context,
+            **(provenance or {}),
+        }
+        conn = self._conn()
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO runs "
+                "(key, app, protection, mtbe, seed, fault_model, scale, "
+                " spec, record, provenance) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    spec.app,
+                    spec.protection.value,
+                    spec.mtbe,
+                    spec.seed,
+                    spec.fault_model,
+                    repr(float(scale)),
+                    json.dumps(spec_to_dict(spec), sort_keys=True),
+                    json.dumps(record_to_dict(record), sort_keys=True),
+                    json.dumps(prov, sort_keys=True),
+                ),
+            )
+
+    def __len__(self) -> int:
+        return self._conn().execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        return (
+            self._conn()
+            .execute("SELECT 1 FROM runs WHERE key=?", (key,))
+            .fetchone()
+            is not None
+        )
+
+    def keys(self) -> frozenset[str]:
+        return frozenset(
+            row[0] for row in self._conn().execute("SELECT key FROM runs")
+        )
+
+    def get(self, key: str) -> RunRecord | None:
+        """Store-only lookup (no legacy fallback, no adoption)."""
+        row = self._conn().execute(
+            "SELECT record FROM runs WHERE key=?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return record_from_dict(json.loads(row[0]))
+
+    def clear(self) -> int:
+        """Drop every run row (failures and campaigns stay); returns the
+        number removed.  The ResultCache-compatible spelling of "start
+        fresh" — ``repro store gc`` is the incremental collector."""
+        conn = self._conn()
+        with conn:
+            removed = conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            conn.execute("DELETE FROM runs")
+        return removed
+
+    # -- failures --------------------------------------------------------------
+
+    def record_failure(
+        self, failure: "FailureRecord", campaign: str | None = None, scale: float = 1.0
+    ) -> None:
+        """File one exhausted-retry failure (the sweep engine calls this
+        from :meth:`ParallelRunner._dispose`)."""
+        conn = self._conn()
+        with conn:
+            conn.execute(
+                "INSERT INTO failures "
+                "(key, campaign, app, seed, failure, message, attempts, "
+                " spec, written_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    failure.spec.content_key(scale),
+                    campaign,
+                    failure.spec.app,
+                    failure.spec.seed,
+                    failure.failure,
+                    failure.message,
+                    failure.attempts,
+                    json.dumps(spec_to_dict(failure.spec), sort_keys=True),
+                    time.time(),
+                ),
+            )
+
+    def failure_for(self, key: str) -> "FailureRecord | None":
+        """The latest failure filed for *key*, or ``None``."""
+        from repro.experiments.parallel import FailureRecord
+
+        row = self._conn().execute(
+            "SELECT spec, failure, message, attempts FROM failures "
+            "WHERE key=? ORDER BY id DESC LIMIT 1",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        return FailureRecord(
+            index=-1,
+            spec=spec_from_dict(json.loads(row[0])),
+            failure=row[1],
+            message=row[2],
+            attempts=row[3],
+        )
+
+    # -- campaigns -------------------------------------------------------------
+
+    def begin_campaign(
+        self,
+        campaign: str,
+        specs: Sequence["RunSpec"],
+        scale: float,
+        app: str | None = None,
+        metric: str = "snr",
+        options: dict | None = None,
+    ) -> CampaignStatus:
+        """Register a campaign's frozen grid (idempotent).
+
+        A new campaign writes one ``campaigns`` row plus its ordered
+        ``campaign_specs``.  Re-beginning an existing campaign verifies
+        the grid matches key-for-key — the original rows (and options)
+        are kept, which is exactly what resume wants — and raises
+        ``ValueError`` on a mismatch rather than silently mixing grids.
+        """
+        specs = list(specs)
+        keys = [spec.content_key(scale) for spec in specs]
+        conn = self._conn()
+        with conn:
+            row = conn.execute(
+                "SELECT total, scale FROM campaigns WHERE campaign=?", (campaign,)
+            ).fetchone()
+            if row is not None:
+                stored = [
+                    r[0]
+                    for r in conn.execute(
+                        "SELECT key FROM campaign_specs WHERE campaign=? "
+                        "ORDER BY position",
+                        (campaign,),
+                    )
+                ]
+                if stored != keys or row[1] != repr(float(scale)):
+                    raise ValueError(
+                        f"campaign {campaign!r} already exists with a "
+                        f"different grid ({row[0]} specs at scale {row[1]}); "
+                        "pick a new campaign id for a new grid"
+                    )
+            else:
+                conn.execute(
+                    "INSERT INTO campaigns "
+                    "(campaign, app, metric, scale, options, total, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        campaign,
+                        app or (specs[0].app if specs else "?"),
+                        metric,
+                        repr(float(scale)),
+                        json.dumps(options or {}, sort_keys=True),
+                        len(specs),
+                        time.time(),
+                    ),
+                )
+                conn.executemany(
+                    "INSERT INTO campaign_specs (campaign, position, key, spec) "
+                    "VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            campaign,
+                            position,
+                            key,
+                            json.dumps(spec_to_dict(spec), sort_keys=True),
+                        )
+                        for position, (key, spec) in enumerate(zip(keys, specs))
+                    ],
+                )
+        return self.campaign(campaign)
+
+    def campaign(self, campaign: str) -> CampaignStatus:
+        """Load one campaign's grid and derived done/failed/pending state.
+
+        Raises ``ValueError`` (naming the known ids) for an unknown
+        campaign.
+        """
+        conn = self._conn()
+        row = conn.execute(
+            "SELECT app, metric, scale, options FROM campaigns WHERE campaign=?",
+            (campaign,),
+        ).fetchone()
+        if row is None:
+            known = ", ".join(self.campaign_ids()) or "none"
+            raise ValueError(
+                f"unknown campaign {campaign!r} in {self.path} (known: {known})"
+            )
+        entries = conn.execute(
+            "SELECT position, key, spec FROM campaign_specs "
+            "WHERE campaign=? ORDER BY position",
+            (campaign,),
+        ).fetchall()
+        keys = tuple(entry[1] for entry in entries)
+        specs = tuple(spec_from_dict(json.loads(entry[2])) for entry in entries)
+        done = frozenset(
+            i
+            for i, key in enumerate(keys)
+            if conn.execute("SELECT 1 FROM runs WHERE key=?", (key,)).fetchone()
+        )
+        failed = frozenset(
+            i
+            for i, key in enumerate(keys)
+            if i not in done
+            and conn.execute(
+                "SELECT 1 FROM failures WHERE key=?", (key,)
+            ).fetchone()
+        )
+        return CampaignStatus(
+            campaign=campaign,
+            app=row[0],
+            metric=row[1],
+            scale=float(row[2]),
+            options=json.loads(row[3]),
+            specs=specs,
+            keys=keys,
+            done=done,
+            failed=failed,
+        )
+
+    def campaign_ids(self) -> tuple[str, ...]:
+        return tuple(
+            row[0]
+            for row in self._conn().execute(
+                "SELECT campaign FROM campaigns ORDER BY created_at, campaign"
+            )
+        )
+
+    # -- query / stats / maintenance -------------------------------------------
+
+    def query(
+        self,
+        app: str | None = None,
+        protection: str | None = None,
+        mtbe: float | None = None,
+        seed: int | None = None,
+        fault_model: str | None = None,
+        limit: int | None = None,
+    ) -> list[StoredRun]:
+        """Rows matching every given axis value, in stable (app,
+        protection, mtbe, seed, key) order."""
+        clauses, params = [], []
+        for column, value in (
+            ("app", app),
+            ("protection", protection),
+            ("mtbe", mtbe),
+            ("seed", seed),
+            ("fault_model", fault_model),
+        ):
+            if value is not None:
+                clauses.append(f"{column}=?")
+                params.append(value)
+        sql = "SELECT key, spec, scale, record, provenance FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY app, protection, mtbe, seed, key"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        rows = self._conn().execute(sql, params).fetchall()
+        return [
+            StoredRun(
+                key=row[0],
+                spec=spec_from_dict(json.loads(row[1])),
+                scale=float(row[2]),
+                record=record_from_dict(json.loads(row[3])),
+                provenance=json.loads(row[4]),
+            )
+            for row in rows
+        ]
+
+    def stats(self) -> StoreStats:
+        conn = self._conn()
+        stats = StoreStats(path=self.path)
+        stats.runs = conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        stats.failures = conn.execute("SELECT COUNT(*) FROM failures").fetchone()[0]
+        stats.campaigns = conn.execute(
+            "SELECT COUNT(*) FROM campaigns"
+        ).fetchone()[0]
+        stats.by_app = dict(
+            conn.execute(
+                "SELECT app, COUNT(*) FROM runs GROUP BY app ORDER BY app"
+            ).fetchall()
+        )
+        try:
+            stats.size_bytes = self.path.stat().st_size
+        except OSError:
+            pass
+        return stats
+
+    def import_cache(self, cache: ResultCache | str | Path | None = None) -> int:
+        """One-shot migration: adopt every readable legacy cache entry.
+
+        Entries already in the store are left untouched (their provenance
+        is preserved); returns how many rows were imported.
+        """
+        cache = (
+            self.fallback
+            if cache is None
+            else (cache if isinstance(cache, ResultCache) else ResultCache(cache))
+        )
+        if cache is None:
+            return 0
+        imported = 0
+        for key, payload in cache.entries():
+            if key in self:
+                continue
+            try:
+                spec = spec_from_dict(payload["spec"])
+                record = record_from_dict(payload["record"])
+                scale = float(payload["scale"])
+            except (ValueError, KeyError, TypeError):
+                continue
+            self.store(
+                key,
+                spec,
+                scale,
+                record,
+                provenance={"imported_from": str(cache.path(key))},
+            )
+            imported += 1
+        return imported
+
+    def export(self, stream) -> int:
+        """Dump every run row as one JSON object per line; returns the
+        row count.  The inverse direction is ``repro store import`` (from
+        a legacy cache) — exports are for external tooling."""
+        count = 0
+        for row in self.query():
+            stream.write(
+                json.dumps(
+                    {
+                        "key": row.key,
+                        "spec": spec_to_dict(row.spec),
+                        "scale": repr(row.scale),
+                        "record": record_to_dict(row.record),
+                        "provenance": row.provenance,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            count += 1
+        return count
+
+    def gc(self, trace_dirs: Iterable[str | Path] = ()) -> GcStats:
+        """Collect debris: failure rows superseded by a later successful
+        run, ``*.tmp`` write stragglers in the legacy cache root, and —
+        in the given trace directories — ``<key>.jsonl`` traces whose key
+        the store no longer knows.  File sweeping goes through the same
+        :func:`~repro.experiments.cache.sweep_orphans` path as
+        :meth:`ResultCache.clear`, then the database is vacuumed.
+        """
+        conn = self._conn()
+        with conn:
+            superseded = conn.execute(
+                "DELETE FROM failures WHERE key IN (SELECT key FROM runs)"
+            ).rowcount
+        tmp = traces = 0
+        if self.fallback is not None:
+            swept_tmp, _ = sweep_orphans(self.fallback.root)
+            tmp += swept_tmp
+        live = self.keys()
+        for directory in trace_dirs:
+            swept_tmp, swept_traces = sweep_orphans(directory, live_keys=live)
+            tmp += swept_tmp
+            traces += swept_traces
+        conn.execute("VACUUM")
+        return GcStats(
+            superseded_failures=superseded,
+            tmp_stragglers=tmp,
+            dangling_traces=traces,
+        )
+
+
+__all__ = [
+    "CampaignStatus",
+    "DEFAULT_STORE_PATH",
+    "ENV_STORE_PATH",
+    "GcStats",
+    "RunStore",
+    "STORE_SCHEMA_VERSION",
+    "StoreStats",
+    "StoredRun",
+    "derive_campaign_id",
+    "spec_key",
+]

@@ -84,3 +84,47 @@ class TestApiRunAliases:
 
         with pytest.warns(DeprecationWarning, match="EngineOptions"):
             run("fft", "commguard", mtbe=100_000, seed=0, scale=SCALE)
+
+
+class TestApiSweepAliases:
+    """The legacy sweep(jobs=/no_cache=/...) engine kwargs warn, still
+    work, and match the options= spelling bit for bit."""
+
+    def test_jobs_alias_warns_and_matches_options(self):
+        from repro.api import EngineOptions, sweep
+
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.sweep\(jobs"):
+            legacy = sweep("fft", mtbes=100_000, seeds=2,
+                           options=EngineOptions(scale=SCALE, cache=None),
+                           jobs=1)
+        fresh = sweep("fft", mtbes=100_000, seeds=2,
+                      options=EngineOptions(scale=SCALE, cache=None, jobs=1))
+        assert legacy.records == fresh.records
+
+    def test_no_cache_alias_maps_to_cache_false(self):
+        from repro.api import sweep
+
+        with pytest.warns(
+            DeprecationWarning, match=r"repro\.api\.sweep"
+        ) as caught:
+            sweep("fft", mtbes=100_000, seeds=1, scale=SCALE, no_cache=True,
+                  jobs=1)
+        messages = [str(w.message) for w in caught]
+        assert any("EngineOptions(cache=...)" in m for m in messages)
+
+    def test_alias_warning_points_at_replacement(self):
+        from repro.api import sweep
+
+        with pytest.warns(DeprecationWarning, match="EngineOptions"):
+            sweep("fft", mtbes=100_000, seeds=1, scale=SCALE, jobs=1,
+                  cache=False)
+
+    def test_options_spelling_does_not_warn(self):
+        import warnings
+
+        from repro.api import EngineOptions, sweep
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sweep("fft", mtbes=100_000, seeds=1,
+                  options=EngineOptions(scale=SCALE, cache=None, jobs=1))

@@ -1,0 +1,326 @@
+"""RunStore: roundtrips, legacy migration, campaigns, multi-writer safety."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import FailureRecord, ParallelRunner, RunSpec
+from repro.experiments.runner import SimulationRunner
+from repro.experiments.store import RunStore, derive_campaign_id
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(scale=SCALE)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store.sqlite", fallback=False)
+
+
+def make_spec(seed: int = 0, mtbe: float = 100_000.0) -> RunSpec:
+    return RunSpec(app="fft", mtbe=mtbe, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def executed(runner):
+    spec = make_spec()
+    return spec, runner.execute_spec(spec)
+
+
+class TestStoreBasics:
+    def test_roundtrip(self, store, executed):
+        spec, record = executed
+        key = spec.content_key(SCALE)
+        assert store.get(key) is None
+        assert key not in store
+        store.store(key, spec, SCALE, record)
+        assert store.get(key) == record
+        assert store.load(key) == record
+        assert key in store
+        assert len(store) == 1
+        assert store.keys() == frozenset({key})
+
+    def test_load_miss_without_fallback(self, store):
+        assert store.load("no-such-key") is None
+
+    def test_provenance_is_stamped(self, store, executed):
+        spec, record = executed
+        key = spec.content_key(SCALE)
+        store.set_context(jobs=3, campaign="c-test")
+        store.store(key, spec, SCALE, record, provenance={"entry": "test"})
+        row = store.query()[0]
+        assert row.provenance["jobs"] == 3
+        assert row.provenance["campaign"] == "c-test"
+        assert row.provenance["entry"] == "test"
+        assert "written_at" in row.provenance
+        assert "worker" in row.provenance
+
+    def test_clear_drops_runs_only(self, store, executed):
+        spec, record = executed
+        key = spec.content_key(SCALE)
+        store.store(key, spec, SCALE, record)
+        failure = FailureRecord(
+            index=0, spec=make_spec(9), failure="exception",
+            message="boom", attempts=1,
+        )
+        store.record_failure(failure, scale=SCALE)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.failure_for(make_spec(9).content_key(SCALE)) is not None
+
+    def test_coerce(self, store, tmp_path):
+        assert RunStore.coerce(None) is None
+        assert RunStore.coerce(False) is None
+        assert RunStore.coerce(store) is store
+        coerced = RunStore.coerce(str(tmp_path / "other.sqlite"))
+        assert coerced.path == tmp_path / "other.sqlite"
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        RunStore(path, fallback=False).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE meta SET value='99' WHERE key='schema_version'")
+        conn.close()
+        with pytest.raises(ValueError, match="schema version 99"):
+            RunStore(path, fallback=False)
+
+
+class TestLegacyFallback:
+    def test_read_through_adopts_legacy_entry(self, tmp_path, executed):
+        spec, record = executed
+        key = spec.content_key(SCALE)
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(key, spec, SCALE, record)
+        store = RunStore(tmp_path / "store.sqlite", fallback=cache)
+        assert store.get(key) is None  # store-only: not there yet
+        assert store.load(key) == record  # read-through hit...
+        assert store.get(key) == record  # ...adopted into the store
+        row = store.query()[0]
+        assert "imported_from" in row.provenance
+
+    def test_import_cache_migrates_once(self, tmp_path, runner):
+        cache = ResultCache(tmp_path / "cache")
+        for seed in range(3):
+            spec = make_spec(seed)
+            cache.store(
+                spec.content_key(SCALE), spec, SCALE, runner.execute_spec(spec)
+            )
+        store = RunStore(tmp_path / "store.sqlite", fallback=cache)
+        assert store.import_cache() == 3
+        assert len(store) == 3
+        assert store.import_cache() == 0  # existing rows are skipped
+
+    def test_export_jsonl(self, tmp_path, store, executed):
+        import io
+
+        spec, record = executed
+        store.store(spec.content_key(SCALE), spec, SCALE, record)
+        buffer = io.StringIO()
+        assert store.export(buffer) == 1
+        line = json.loads(buffer.getvalue())
+        assert line["key"] == spec.content_key(SCALE)
+        assert line["spec"]["app"] == "fft"
+
+
+class TestFailures:
+    def test_failure_roundtrip_latest_wins(self, store):
+        spec = make_spec(5)
+        for attempt, message in enumerate(["first", "second"], start=1):
+            store.record_failure(
+                FailureRecord(
+                    index=2, spec=spec, failure="timeout",
+                    message=message, attempts=attempt,
+                ),
+                campaign="c-x",
+                scale=SCALE,
+            )
+        failure = store.failure_for(spec.content_key(SCALE))
+        assert failure.message == "second"
+        assert failure.attempts == 2
+        assert failure.spec == spec
+
+    def test_gc_prunes_superseded_failures(self, store, executed):
+        spec, record = executed
+        key = spec.content_key(SCALE)
+        store.record_failure(
+            FailureRecord(
+                index=0, spec=spec, failure="exception",
+                message="transient", attempts=1,
+            ),
+            scale=SCALE,
+        )
+        store.store(key, spec, SCALE, record)  # the later success supersedes
+        collected = store.gc()
+        assert collected.superseded_failures == 1
+        assert store.failure_for(key) is None
+
+    def test_gc_sweeps_orphans_in_fallback_and_traces(self, tmp_path, executed):
+        spec, record = executed
+        cache = ResultCache(tmp_path / "cache")
+        store = RunStore(tmp_path / "store.sqlite", fallback=cache)
+        store.store(spec.content_key(SCALE), spec, SCALE, record)
+        straggler = tmp_path / "cache" / "ab"
+        straggler.mkdir(parents=True)
+        (straggler / "deadbeef.json.tmp").write_text("{}")
+        traces = tmp_path / "traces"
+        traces.mkdir()
+        (traces / f"{spec.content_key(SCALE)}.jsonl").write_text("{}\n")
+        (traces / ("f" * 64 + ".jsonl")).write_text("{}\n")
+        collected = store.gc(trace_dirs=[traces])
+        assert collected.tmp_stragglers == 1
+        assert collected.dangling_traces == 1  # the live key's trace stays
+        assert (traces / f"{spec.content_key(SCALE)}.jsonl").exists()
+
+
+class TestCampaigns:
+    def test_begin_is_idempotent_and_derives_status(self, store, runner):
+        specs = [make_spec(seed) for seed in range(4)]
+        status = store.begin_campaign("c-1", specs, SCALE, app="fft")
+        assert status.total == 4
+        assert status.pending == (0, 1, 2, 3)
+        store.store(
+            specs[1].content_key(SCALE), specs[1], SCALE,
+            runner.execute_spec(specs[1]),
+        )
+        again = store.begin_campaign("c-1", specs, SCALE)
+        assert again.done == frozenset({1})
+        assert again.pending == (0, 2, 3)
+        assert "1/4 done" in again.summary()
+
+    def test_begin_rejects_grid_mismatch(self, store):
+        store.begin_campaign("c-1", [make_spec(0)], SCALE)
+        with pytest.raises(ValueError, match="different grid"):
+            store.begin_campaign("c-1", [make_spec(1)], SCALE)
+        with pytest.raises(ValueError, match="different grid"):
+            store.begin_campaign("c-1", [make_spec(0)], SCALE * 2)
+
+    def test_unknown_campaign_names_known_ids(self, store):
+        store.begin_campaign("c-known", [make_spec(0)], SCALE)
+        with pytest.raises(ValueError, match="c-known"):
+            store.campaign("c-missing")
+
+    def test_failed_positions_derived_from_failures(self, store):
+        specs = [make_spec(seed) for seed in range(2)]
+        store.begin_campaign("c-f", specs, SCALE)
+        store.record_failure(
+            FailureRecord(
+                index=0, spec=specs[0], failure="crash",
+                message="died", attempts=2,
+            ),
+            campaign="c-f",
+            scale=SCALE,
+        )
+        status = store.campaign("c-f")
+        assert status.failed == frozenset({0})
+        assert status.pending == (1,)
+
+    def test_derive_campaign_id_is_deterministic(self):
+        grid = [make_spec(seed) for seed in range(3)]
+        assert derive_campaign_id(grid, SCALE) == derive_campaign_id(grid, SCALE)
+        assert derive_campaign_id(grid, SCALE) != derive_campaign_id(grid, 0.1)
+        assert derive_campaign_id(grid, SCALE) != derive_campaign_id(
+            grid[::-1], SCALE
+        )
+        assert derive_campaign_id(grid, SCALE).startswith("c-")
+
+
+class TestQueryAndStats:
+    def test_query_filters_and_limit(self, store, runner):
+        for seed in range(3):
+            spec = make_spec(seed)
+            store.store(
+                spec.content_key(SCALE), spec, SCALE, runner.execute_spec(spec)
+            )
+        assert len(store.query(app="fft")) == 3
+        assert len(store.query(app="jpeg")) == 0
+        assert len(store.query(seed=1)) == 1
+        assert len(store.query(limit=2)) == 2
+        seeds = [row.spec.seed for row in store.query()]
+        assert seeds == sorted(seeds)
+
+    def test_stats_counts(self, store, executed):
+        spec, record = executed
+        store.store(spec.content_key(SCALE), spec, SCALE, record)
+        store.begin_campaign("c-s", [spec], SCALE)
+        stats = store.stats()
+        assert stats.runs == 1
+        assert stats.campaigns == 1
+        assert stats.by_app == {"fft": 1}
+        assert stats.size_bytes > 0
+
+
+class TestEngineIntegration:
+    def test_runner_writes_and_rereads_store(self, tmp_path):
+        specs = [make_spec(seed) for seed in range(3)]
+        path = tmp_path / "store.sqlite"
+        first = ParallelRunner(scale=SCALE, jobs=1, store=RunStore(path, fallback=False))
+        records = first.run_specs(specs)
+        assert first.last_stats.executed == 3
+        second = ParallelRunner(scale=SCALE, jobs=1, store=RunStore(path, fallback=False))
+        again = second.run_specs(specs)
+        assert second.last_stats.cache_hits == 3
+        assert again == records
+
+    def test_attach_store_keeps_cache_as_fallback(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = ParallelRunner(scale=SCALE, jobs=1, cache=cache)
+        store = RunStore(tmp_path / "store.sqlite", fallback=False)
+        engine.attach_store(store)
+        assert engine.cache is store
+        assert store.fallback is cache
+
+
+class TestConcurrentWriters:
+    """Two engines over one store database must behave like one serial
+    engine: same rows, no ``database is locked`` failures."""
+
+    def _run_grid(self, path, specs, errors):
+        try:
+            engine = ParallelRunner(
+                scale=SCALE, jobs=1, store=RunStore(path, fallback=False)
+            )
+            engine.run_specs(specs)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def _rows(self, path):
+        store = RunStore(path, fallback=False)
+        return {
+            row.key: (row.spec, row.record) for row in store.query()
+        }
+
+    @pytest.mark.parametrize("overlap", [True, False], ids=["overlapping", "disjoint"])
+    def test_concurrent_runners_match_serial(self, tmp_path, overlap):
+        all_specs = [make_spec(seed) for seed in range(8)]
+        if overlap:
+            grids = (all_specs[:6], all_specs[2:])
+        else:
+            grids = (all_specs[:4], all_specs[4:])
+
+        concurrent_path = tmp_path / "concurrent.sqlite"
+        errors: list = []
+        threads = [
+            threading.Thread(target=self._run_grid, args=(concurrent_path, grid, errors))
+            for grid in grids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        serial_path = tmp_path / "serial.sqlite"
+        serial = ParallelRunner(
+            scale=SCALE, jobs=1, store=RunStore(serial_path, fallback=False)
+        )
+        serial.run_specs(all_specs)
+
+        assert self._rows(concurrent_path) == self._rows(serial_path)

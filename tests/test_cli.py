@@ -238,3 +238,119 @@ class TestFaultToleranceFlags:
         err = capsys.readouterr().err
         assert "repro: error:" in err
         assert "REPRO_JOBS='lots'" in err
+
+
+class TestStoreCommand:
+    SWEEP = ["sweep", "fft", "--mtbe", "100k", "--seeds", "2",
+             "--scale", "0.05", "--jobs", "1", "--no-cache"]
+
+    @pytest.fixture
+    def populated_db(self, tmp_path, capsys):
+        db = str(tmp_path / "db.sqlite")
+        assert main([*self.SWEEP, "--store", db]) == 0
+        capsys.readouterr()
+        return db
+
+    def test_sweep_store_announces_campaign_then_reruns_cached(
+        self, capsys, tmp_path
+    ):
+        db = str(tmp_path / "db.sqlite")
+        assert main([*self.SWEEP, "--store", db]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep] campaign c-" in err
+        assert db in err
+        assert main([*self.SWEEP, "--store", db]) == 0
+        assert "(2 cached)" in capsys.readouterr().out
+
+    def test_stats_lists_campaign_progress(self, capsys, populated_db):
+        assert main(["store", "stats", "--db", populated_db]) == 0
+        out = capsys.readouterr().out
+        assert "runs (fft)" in out
+        assert "2/2 done" in out
+
+    def test_query_json_rows(self, capsys, populated_db):
+        import json
+
+        assert main(
+            ["store", "query", "--db", populated_db, "--json", "--app", "fft"]
+        ) == 0
+        rows = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert len(rows) == 2
+        assert {row["seed"] for row in rows} == {0, 1}
+        assert all(row["protection"] == "commguard" for row in rows)
+        assert all("written_at" in row["provenance"] for row in rows)
+
+    def test_query_table_accepts_protection_shorthand(
+        self, capsys, populated_db
+    ):
+        assert main(
+            ["store", "query", "--db", populated_db, "--protection", "commguard"]
+        ) == 0
+        assert "2 row(s)" in capsys.readouterr().out
+        # "ppu" canonicalizes to ppu-only, which this store has none of.
+        assert main(
+            ["store", "query", "--db", populated_db, "--protection", "ppu"]
+        ) == 0
+        assert "0 row(s)" in capsys.readouterr().out
+
+    def test_gc_reports_collection(self, capsys, populated_db):
+        assert main(["store", "gc", "--db", populated_db]) == 0
+        assert "[store]" in capsys.readouterr().out
+
+    def test_export_writes_jsonl(self, capsys, populated_db, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "runs.jsonl")
+        assert main(
+            ["store", "export", "--db", populated_db, "--output", out_path]
+        ) == 0
+        assert "exported 2 run(s)" in capsys.readouterr().out
+        with open(out_path) as stream:
+            lines = [json.loads(line) for line in stream]
+        assert len(lines) == 2
+        assert all(line["spec"]["app"] == "fft" for line in lines)
+
+    def test_import_migrates_legacy_cache(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        argv = ["sweep", "fft", "--mtbe", "100k", "--seeds", "2",
+                "--scale", "0.05", "--jobs", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        db = str(tmp_path / "db.sqlite")
+        assert main(
+            ["store", "import", "--db", db, "--cache", cache_dir]
+        ) == 0
+        assert "imported 2 run(s)" in capsys.readouterr().out
+        assert main([*argv, "--no-cache", "--store", db]) == 0
+        assert "(2 cached)" in capsys.readouterr().out
+
+    def test_resume_unknown_campaign_is_clean_error(
+        self, capsys, populated_db
+    ):
+        assert main(
+            ["sweep", "--store", populated_db, "--resume", "c-missing"]
+        ) == 2
+        assert "repro sweep:" in capsys.readouterr().err
+
+    def test_sweep_without_app_or_resume_is_usage_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "an app is required" in capsys.readouterr().err
+
+    def test_resume_completes_campaign_from_cli(
+        self, capsys, populated_db
+    ):
+        from repro.experiments.store import RunStore
+
+        campaign = RunStore(populated_db, fallback=False).campaign_ids()[0]
+        assert main(
+            ["sweep", "--store", populated_db, "--resume", campaign,
+             "--jobs", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "[sweep] resuming" in captured.err
+        assert "(2 cached)" in captured.out
