@@ -370,6 +370,9 @@ def run(
     through) returns the stored record without simulating — such a
     report carries ``result=None``, exactly like a deserialized one —
     and an executed run is persisted to the store with provenance.
+    Runs with an ``error_model`` override never touch the store: the
+    override is not part of the spec's content key, so neither a cached
+    baseline record nor a store write would be faithful to it.
     """
     opts = options or EngineOptions()
     if scale is not _UNSET:
@@ -428,7 +431,11 @@ def run(
     runner = _runner_for(scale)
     runner.adopt_app(bench)
     store = RunStore.coerce(opts.store)
-    if store is not None and trace is None:
+    # An error_model override is not part of RunSpec (and hence the
+    # content key), so a store hit would return a baseline record that
+    # ignores the override and a store write would poison the baseline
+    # key — overridden runs bypass the store entirely, like traced ones.
+    if store is not None and trace is None and error_model is None:
         cached = store.load(spec.content_key(scale))
         if cached is not None:
             return RunReport(
@@ -452,7 +459,7 @@ def run(
     finally:
         if owned is not None:
             owned.close()
-    if store is not None:
+    if store is not None and error_model is None:
         store.store(
             spec.content_key(scale), spec, scale, record,
             provenance={"entry": "api.run"},

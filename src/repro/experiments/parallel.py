@@ -325,28 +325,44 @@ def _run_in_worker(
     attempt: int = 0,
     run_timeout: float | None = None,
     fault_hook=None,
-) -> tuple[int, str, RunRecord | str, float]:
+) -> tuple[int, str, RunRecord | str, float, float]:
     """Execute one attempt in a pool worker.
 
     Never raises for per-run faults: the outcome travels back as
-    ``(index, status, payload, cpu_seconds)`` where *status* is ``"ok"``
-    (payload = the record) or a failure kind (payload = the message), so
-    the parent can account retries without tearing the pool down.
+    ``(index, status, payload, cpu_seconds, wall_seconds)`` where
+    *status* is ``"ok"`` (payload = the record) or a failure kind
+    (payload = the message), so the parent can account retries without
+    tearing the pool down.  ``wall_seconds`` is this attempt's own
+    elapsed time, measured in the executing process (queue wait
+    excluded) — it feeds the per-row store provenance.
     """
     assert _WORKER_RUNNER is not None, "worker initializer did not run"
     cpu_before = time.process_time()
+    wall_before = time.perf_counter()
     try:
         with _deadline(run_timeout):
             hook = _resolve_fault_hook(fault_hook)
             if hook is not None:
                 hook(spec, attempt)
             record = _WORKER_RUNNER.execute_spec(spec)
-        return index, "ok", record, time.process_time() - cpu_before
+        return (
+            index, "ok", record,
+            time.process_time() - cpu_before,
+            time.perf_counter() - wall_before,
+        )
     except RunTimeoutError as exc:
-        return index, "timeout", str(exc), time.process_time() - cpu_before
+        return (
+            index, "timeout", str(exc),
+            time.process_time() - cpu_before,
+            time.perf_counter() - wall_before,
+        )
     except Exception as exc:
         message = f"{type(exc).__name__}: {exc}"
-        return index, "exception", message, time.process_time() - cpu_before
+        return (
+            index, "exception", message,
+            time.process_time() - cpu_before,
+            time.perf_counter() - wall_before,
+        )
 
 
 class ParallelRunner(SimulationRunner):
@@ -460,10 +476,21 @@ class ParallelRunner(SimulationRunner):
 
         The store replaces the flat cache as the lookup/persist backend;
         a previously configured :class:`ResultCache` (if any) becomes the
-        store's legacy read-through fallback instead.
+        store's legacy read-through fallback instead.  With the runner's
+        cache disabled (``cache=None``/``False``, e.g. ``sweep
+        --no-cache --store``) the store's *defaulted* fallback is
+        cleared too — the legacy cache the user turned off must not leak
+        back in through the store's default read-through.  A fallback
+        the caller configured explicitly on the store is kept.
         """
-        if self.cache is not None and not isinstance(self.cache, RunStore):
+        if isinstance(self.cache, RunStore):
+            pass  # re-attach: keep the new store's configured fallback
+        elif self.cache is not None:
             store.fallback = self.cache
+            store.fallback_defaulted = False
+        elif store.fallback_defaulted:
+            store.fallback = None
+            store.fallback_defaulted = False
         self.store = store
         self.cache = store
         if campaign is not None:
@@ -555,6 +582,7 @@ class ParallelRunner(SimulationRunner):
         while queue:
             item = index, spec, key, attempt = queue.popleft()
             cpu_before = time.process_time()
+            run_before = time.perf_counter()
             try:
                 with _deadline(self.run_timeout):
                     if hook is not None:
@@ -574,7 +602,10 @@ class ParallelRunner(SimulationRunner):
                     queue.append((index, spec, key, attempt + 1))
                 continue
             stats.cpu_seconds += time.process_time() - cpu_before
-            self._finish(records, stats, wall_before, index, spec, key, record)
+            self._finish(
+                records, stats, wall_before, index, spec, key, record,
+                run_wall=time.perf_counter() - run_before,
+            )
 
     def _run_pool(self, pending, records, stats, wall_before, jobs) -> None:
         """Pool loop with crash isolation.
@@ -665,7 +696,7 @@ class ParallelRunner(SimulationRunner):
         crash (the caller quarantines it), ``None`` otherwise."""
         index, spec, key, attempt = item
         try:
-            _, status, payload, cpu = future.result()
+            _, status, payload, cpu, wall = future.result()
         except (BrokenExecutor, CancelledError):
             return item
         except Exception as exc:  # e.g. an unpicklable payload
@@ -675,7 +706,10 @@ class ParallelRunner(SimulationRunner):
             return None
         stats.cpu_seconds += cpu
         if status == "ok":
-            self._finish(records, stats, wall_before, index, spec, key, payload)
+            self._finish(
+                records, stats, wall_before, index, spec, key, payload,
+                run_wall=wall,
+            )
         elif self._dispose(item, status, payload, stats):
             requeue.append((index, spec, key, attempt + 1))
         return None
@@ -756,16 +790,22 @@ class ParallelRunner(SimulationRunner):
             raise SweepRunError(record) from exc
         return False
 
-    def _finish(self, records, stats, wall_before, index, spec, key, record) -> None:
+    def _finish(
+        self, records, stats, wall_before, index, spec, key, record,
+        run_wall: float | None = None,
+    ) -> None:
         records[index] = record
         stats.executed += 1
         self.metrics.inc("sweep_runs_executed", app=spec.app)
         if self.store is not None and key is not None:
+            # run_wall is this run's own elapsed time in its executing
+            # process — not the sweep's cumulative wall clock.
+            provenance = (
+                {"wall_seconds": round(run_wall, 3)}
+                if run_wall is not None else {}
+            )
             self.store.store(
-                key, spec, self.scale, record,
-                provenance={
-                    "wall_seconds": round(time.perf_counter() - wall_before, 3)
-                },
+                key, spec, self.scale, record, provenance=provenance,
             )
         elif self.cache is not None and key is not None:
             self.cache.store(key, spec, self.scale, record)

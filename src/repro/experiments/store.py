@@ -255,6 +255,11 @@ class RunStore:
             path = os.environ.get(ENV_STORE_PATH) or DEFAULT_STORE_PATH
         self.path = Path(path)
         self.fallback = ResultCache.coerce(fallback)
+        #: True when the fallback is the implicit default rather than a
+        #: caller choice — the engine may clear a defaulted fallback when
+        #: its own cache is explicitly disabled (see
+        #: :meth:`ParallelRunner.attach_store`).
+        self.fallback_defaulted = fallback is True
         #: Extra provenance merged into every stored row (engine options,
         #: campaign id, ...); set by the engine via :meth:`set_context`.
         self._context: dict = {}
@@ -294,15 +299,18 @@ class RunStore:
         conn = self._conn()
         with conn:
             conn.executescript(_SCHEMA)
+            # OR IGNORE: concurrent openers of a fresh database both reach
+            # this insert; first writer wins, the version check below then
+            # reads whatever landed.
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) "
+                "VALUES ('schema_version', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
             row = conn.execute(
                 "SELECT value FROM meta WHERE key='schema_version'"
             ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
-                    (str(STORE_SCHEMA_VERSION),),
-                )
-            elif int(row[0]) > STORE_SCHEMA_VERSION:
+            if int(row[0]) > STORE_SCHEMA_VERSION:
                 raise ValueError(
                     f"store {self.path} has schema version {row[0]}; this "
                     f"reader supports up to {STORE_SCHEMA_VERSION}"
@@ -489,11 +497,21 @@ class RunStore:
         the grid matches key-for-key — the original rows (and options)
         are kept, which is exactly what resume wants — and raises
         ``ValueError`` on a mismatch rather than silently mixing grids.
+        Two processes beginning the same new campaign concurrently
+        serialize on the database write lock; the loser sees the
+        winner's row and resumes idempotently.
         """
         specs = list(specs)
         keys = [spec.content_key(scale) for spec in specs]
         conn = self._conn()
-        with conn:
+        # BEGIN IMMEDIATE takes the write lock before the existence
+        # check, making check-then-insert one atomic step across
+        # processes: a concurrent beginner of the same campaign blocks
+        # here (busy_timeout) until the winner commits, then sees the
+        # row and lands on the verification path instead of racing the
+        # INSERT into an IntegrityError.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
             row = conn.execute(
                 "SELECT total, scale FROM campaigns WHERE campaign=?", (campaign,)
             ).fetchone()
@@ -540,6 +558,10 @@ class RunStore:
                         for position, (key, spec) in enumerate(zip(keys, specs))
                     ],
                 )
+        except BaseException:
+            conn.rollback()
+            raise
+        conn.commit()
         return self.campaign(campaign)
 
     def campaign(self, campaign: str) -> CampaignStatus:

@@ -202,6 +202,34 @@ class TestCampaigns:
         with pytest.raises(ValueError, match="different grid"):
             store.begin_campaign("c-1", [make_spec(0)], SCALE * 2)
 
+    def test_concurrent_beginners_serialize(self, tmp_path):
+        """Two processes' worth of beginners racing the same new campaign
+        must both succeed: the check-and-insert is one immediate
+        transaction, so the loser lands on the verification path instead
+        of an IntegrityError."""
+        path = tmp_path / "race.sqlite"
+        specs = [make_spec(seed) for seed in range(3)]
+        barrier = threading.Barrier(4)
+        errors: list = []
+
+        def begin():
+            try:
+                local = RunStore(path, fallback=False)
+                barrier.wait()
+                local.begin_campaign("c-race", specs, SCALE, app="fft")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=begin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        status = RunStore(path, fallback=False).campaign("c-race")
+        assert status.total == 3
+        assert status.pending == (0, 1, 2)
+
     def test_unknown_campaign_names_known_ids(self, store):
         store.begin_campaign("c-known", [make_spec(0)], SCALE)
         with pytest.raises(ValueError, match="c-known"):
@@ -276,6 +304,61 @@ class TestEngineIntegration:
         engine.attach_store(store)
         assert engine.cache is store
         assert store.fallback is cache
+
+    def test_attach_without_cache_clears_defaulted_fallback(
+        self, tmp_path, monkeypatch
+    ):
+        """``--no-cache --store``: the store's implicit ``.repro_cache/``
+        read-through must not resurrect the cache the user disabled."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "legacy"))
+        store = RunStore(tmp_path / "store.sqlite")  # defaulted fallback
+        assert store.fallback is not None
+        ParallelRunner(scale=SCALE, jobs=1, cache=None, store=store)
+        assert store.fallback is None
+
+    def test_attach_without_cache_keeps_explicit_fallback(self, tmp_path):
+        cache = ResultCache(tmp_path / "chosen")
+        store = RunStore(tmp_path / "store.sqlite", fallback=cache)
+        ParallelRunner(scale=SCALE, jobs=1, cache=None, store=store)
+        assert store.fallback is cache
+
+    def test_wall_seconds_provenance_is_per_run(self, tmp_path):
+        """Each row's wall_seconds is that run's own elapsed time, not
+        the sweep's cumulative clock — so for a serial sweep the per-row
+        times sum to at most the sweep total."""
+        path = tmp_path / "store.sqlite"
+        engine = ParallelRunner(
+            scale=SCALE, jobs=1, store=RunStore(path, fallback=False)
+        )
+        engine.run_specs([make_spec(seed) for seed in range(4)])
+        walls = [
+            row.provenance["wall_seconds"]
+            for row in RunStore(path, fallback=False).query()
+        ]
+        assert len(walls) == 4
+        assert all(wall >= 0 for wall in walls)
+        assert sum(walls) <= engine.last_stats.wall_seconds + 0.005
+
+    def test_run_error_model_override_bypasses_store(self, tmp_path):
+        from repro.api import EngineOptions, run
+        from repro.machine.errors import ErrorModel
+
+        store = RunStore(tmp_path / "store.sqlite", fallback=False)
+        options = EngineOptions(scale=SCALE, store=store)
+        baseline = run("fft", mtbe=100_000.0, seed=0, options=options)
+        key = baseline.spec.content_key(SCALE)
+        assert store.get(key) == baseline.record
+        assert len(store) == 1
+        overridden = run(
+            "fft", mtbe=100_000.0, seed=0,
+            error_model=ErrorModel(mtbe=1_000.0),
+            options=options,
+        )
+        # Executed (not served from the store: a hit carries result=None)
+        # and the baseline row was not overwritten or duplicated.
+        assert overridden.result is not None
+        assert len(store) == 1
+        assert store.get(key) == baseline.record
 
 
 class TestConcurrentWriters:
