@@ -11,6 +11,10 @@ Two classes of doc rot this catches:
   compiled; blocks written as interpreter sessions (containing ``>>>``)
   are additionally *executed* as doctests, so quickstart examples in
   README.md and FAULTS.md keep producing exactly the output they show.
+* **CLI drift** — every ``repro <subcommand>`` a doc mentions (inline
+  code or ``python -m repro ...`` invocation) must be a real subcommand
+  of :func:`repro.cli.build_parser`, and — when checking the full doc
+  set — every real subcommand must be documented somewhere.
 
 Exit status 0 = clean; 1 = problems (each printed one per line).
 Run as ``PYTHONPATH=src python scripts/check_docs.py [files...]``;
@@ -25,6 +29,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: ``[text](target)`` — excluding images; target split from a "#anchor".
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
@@ -32,6 +38,21 @@ LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: A doc's reference to a CLI subcommand: inline code (`repro sweep ...`)
+#: or a module invocation (python -m repro sweep ...).  The backtick /
+#: ``-m`` anchor keeps prose like "the repro package" out of scope.
+CLI_REF_RE = re.compile(r"(?:`|-m )repro\s+([a-z][a-z-]*)")
+
+
+def cli_subcommands() -> set[str]:
+    """The real subcommands, straight from the argparse tree."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        return set(action.choices)
+    return set()
 
 
 def iter_links(text: str):
@@ -96,16 +117,48 @@ def check_snippets(path: Path, text: str) -> list[str]:
     return problems
 
 
-def check_file(path: Path) -> list[str]:
+def check_cli_references(
+    path: Path, text: str, subcommands: set[str], seen: set[str]
+) -> list[str]:
+    problems = []
+    for match in CLI_REF_RE.finditer(text):
+        name = match.group(1)
+        line = text.count("\n", 0, match.start()) + 1
+        if name in subcommands:
+            seen.add(name)
+        else:
+            problems.append(
+                f"{path.name}:{line}: `repro {name}` is not a CLI "
+                f"subcommand (have: {', '.join(sorted(subcommands))})"
+            )
+    return problems
+
+
+def check_file(
+    path: Path,
+    subcommands: set[str] | None = None,
+    seen: set[str] | None = None,
+) -> list[str]:
+    if subcommands is None:
+        subcommands = cli_subcommands()
+    if seen is None:
+        seen = set()
     text = path.read_text(encoding="utf-8")
-    return check_links(path, text) + check_snippets(path, text)
+    return (
+        check_links(path, text)
+        + check_snippets(path, text)
+        + check_cli_references(path, text, subcommands, seen)
+    )
 
 
 def main(argv: list[str]) -> int:
+    full_sweep = not argv
     if argv:
         paths = [Path(arg) for arg in argv]
     else:
         paths = sorted(REPO_ROOT.glob("*.md"))
+    subcommands = cli_subcommands()
+    seen: set[str] = set()
     problems: list[str] = []
     checked = 0
     for path in paths:
@@ -113,7 +166,13 @@ def main(argv: list[str]) -> int:
             problems.append(f"{path}: no such file")
             continue
         checked += 1
-        problems.extend(check_file(path))
+        problems.extend(check_file(path, subcommands, seen))
+    if full_sweep:
+        for name in sorted(subcommands - seen):
+            problems.append(
+                f"CLI subcommand `repro {name}` is documented nowhere "
+                "in the top-level *.md docs"
+            )
     for problem in problems:
         print(problem)
     status = "FAIL" if problems else "ok"

@@ -31,7 +31,7 @@ Quick start::
     print(grid.mean_quality_db(protection="commguard"))
 """
 
-from repro.api import RunReport, SweepPoint, SweepReport, run, sweep
+from repro.api import RunReport, SweepPoint, SweepReport, reproduce, run, sweep
 from repro.core import CommGuard, CommGuardConfig
 from repro.experiments.aggregate import CellStats, bootstrap_ci, summarize
 from repro.experiments.options import EngineOptions
@@ -82,6 +82,7 @@ __all__ = [
     "fault_model_names",
     "psnr_db",
     "register_fault_model",
+    "reproduce",
     "run",
     "run_program",
     "snr_db",

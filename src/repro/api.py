@@ -941,6 +941,39 @@ def sweep(
     )
 
 
+def reproduce(
+    scale: str = "reduced",
+    *,
+    store: object = True,
+    out: str | Path | None = None,
+    options: EngineOptions | None = None,
+    progress=None,
+):
+    """Run the whole-paper reproduction pipeline and grade it.
+
+    The one-call form of ``repro paper``: executes every registered
+    :class:`~repro.experiments.fidelity.PaperTarget` at the *scale* tier
+    (``"smoke"`` / ``"reduced"`` / ``"full"``) through the store-backed
+    engine and returns the :class:`~repro.experiments.paper.PaperRun`
+    (``.report`` is the graded :class:`ReproductionReport`).  With *out*
+    set, the artifact bundle (``REPRODUCTION.md``, ``reproduction.json``,
+    per-figure data) is written under that directory.
+
+    *store* follows the usual spellings (``True`` = the default store
+    path; a path string selects a file) — the pipeline always records a
+    resumable campaign, so an interrupted call picks up where it stopped.
+    *options* carries the remaining engine knobs; its ``store`` field is
+    overridden by the *store* argument.
+    """
+    from repro.experiments.paper import run_paper, write_bundle
+
+    opts = replace(options or EngineOptions(), store=store)
+    paper_run = run_paper(scale, options=opts, progress=progress)
+    if out is not None:
+        write_bundle(paper_run, out)
+    return paper_run
+
+
 def _sweep_in_process(
     bench: BenchmarkApp,
     specs: Sequence[RunSpec],

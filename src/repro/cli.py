@@ -12,6 +12,12 @@ Commands:
   ``--keep-going`` — retry failed runs with deterministic backoff,
   preempt hung runs, and finish the sweep past exhausted points; Ctrl-C
   exits cleanly with every completed run already flushed to the cache.
+* ``paper`` — run the whole paper reproduction at a scale tier
+  (``--scale smoke|reduced|full``) through the result store, grade every
+  measured value against the paper's reported numbers, and write the
+  ``REPRODUCTION.md`` / ``reproduction.json`` fidelity bundle.
+  Interrupted runs resume with zero re-execution (``--strict`` exits 1
+  on an overall FAIL).
 * ``report`` — re-render a JSON sweep report written by ``sweep
   --output FILE`` (same summary block as the live sweep).
 * ``trace`` — summarize or tail a JSONL trace file.
@@ -467,6 +473,55 @@ def _render_report(report: "api.SweepReport") -> None:
             print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
 
 
+def cmd_paper(args: argparse.Namespace) -> int:
+    from repro.experiments import paper as paper_pipeline
+
+    options = EngineOptions(
+        jobs=args.jobs,
+        cache=_cache_option(args),
+        retries=args.retries,
+        run_timeout=args.run_timeout,
+        keep_going=True,
+        store=args.store if args.store is not None else True,
+    )
+    try:
+        run = paper_pipeline.run_paper(
+            args.scale,
+            options=options,
+            progress=_progress_printer() if args.progress else None,
+        )
+    except KeyboardInterrupt:
+        print(
+            "\n[paper] interrupted — completed runs are in the store; "
+            "re-run the same command to resume with zero re-execution",
+            file=sys.stderr,
+        )
+        return 130
+    stats = run.stats
+    if stats is not None:
+        print(
+            f"[paper] grid: {stats.executed} executed, "
+            f"{stats.cache_hits} store hits, {stats.failed} failed "
+            f"(campaign {run.report.campaign} in {run.store.path})",
+            file=sys.stderr,
+        )
+    paths = paper_pipeline.write_bundle(run, args.out)
+    report = run.report
+    counts = report.counts()
+    print(paper_pipeline.verdict_table(report.results))
+    print(
+        f"\noverall: {report.verdict.value.upper()} — "
+        f"{counts[paper_pipeline.Verdict.PASS]} pass, "
+        f"{counts[paper_pipeline.Verdict.WARN]} warn, "
+        f"{counts[paper_pipeline.Verdict.FAIL]} fail, "
+        f"{counts[paper_pipeline.Verdict.SKIP]} skipped"
+    )
+    print(f"bundle: {', '.join(str(p) for p in paths[:2])} + per-figure data")
+    if args.strict and report.verdict is paper_pipeline.Verdict.FAIL:
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Re-render a serialized sweep report (``repro sweep --output``)."""
     try:
@@ -813,6 +868,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, help="cache root (default: .repro_cache/)"
     )
     cache_parser.set_defaults(func=cmd_cache)
+
+    paper_parser = sub.add_parser(
+        "paper",
+        help="run the whole paper reproduction and grade it vs the paper",
+    )
+    paper_parser.add_argument(
+        "--scale",
+        choices=["smoke", "reduced", "full"],
+        default="reduced",
+        help="fidelity tier: smoke (CI-sized), reduced (laptop-sized, "
+        "default), full (the paper's Section 6 setup)",
+    )
+    paper_parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="bundle directory for REPRODUCTION.md / reproduction.json / "
+        "reproduction_data/ (default: current directory)",
+    )
+    paper_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store database recording the resumable campaign "
+        "(default: .repro_store.sqlite / REPRO_STORE)",
+    )
+    paper_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the overall verdict is FAIL",
+    )
+    paper_parser.add_argument(
+        "--progress", action="store_true",
+        help="print progress lines to stderr",
+    )
+    _add_engine_options(paper_parser)
+    _add_fault_tolerance_options(paper_parser)
+    paper_parser.set_defaults(func=cmd_paper)
 
     store_parser = sub.add_parser(
         "store", help="inspect/maintain the SQLite result store"

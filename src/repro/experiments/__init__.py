@@ -31,6 +31,22 @@ from repro.experiments.registry import (
     resolve_figure,
 )
 from repro.experiments.runner import RunRecord, SimulationRunner
+from repro.experiments.fidelity import (
+    Comparison,
+    PaperTarget,
+    ScaleTier,
+    TargetResult,
+    ToleranceBand,
+    Verdict,
+    collect_targets,
+    resolve_tier,
+)
+from repro.experiments.paper import (
+    PaperRun,
+    ReproductionReport,
+    run_paper,
+    write_bundle,
+)
 from repro.experiments.store import (
     CampaignStatus,
     RunStore,
@@ -68,23 +84,35 @@ __all__ = [
     "MTBE_LADDER_QUALITY",
     "PAPER_SEEDS",
     "CampaignStatus",
+    "Comparison",
     "EngineOptions",
     "FailureRecord",
     "FigureArtifact",
     "FigureSpec",
+    "PaperRun",
+    "PaperTarget",
     "ParallelRunner",
+    "ReproductionReport",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "RunStore",
     "RunTimeoutError",
+    "ScaleTier",
     "SimulationRunner",
     "StoredRun",
     "SweepRunError",
     "SweepStats",
+    "TargetResult",
+    "ToleranceBand",
+    "Verdict",
+    "collect_targets",
     "derive_campaign_id",
     "figure_names",
     "figure_specs",
     "register_figure",
     "resolve_figure",
+    "resolve_tier",
+    "run_paper",
+    "write_bundle",
 ]

@@ -265,6 +265,31 @@ def main(
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Comparison,
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="campaign.jpeg_acceptable_2048k",
+            figure="campaign",
+            description="CommGuard keeps jpeg runs acceptable at MTBE 2048k",
+            paper_value=1.0,
+            unit="fraction",
+            band=ToleranceBand(pass_within=0.34, warn_within=0.67),
+            measure=Measurement(
+                "acceptable_fraction", app="jpeg", mtbe=2_048_000.0
+            ),
+            comparison=Comparison.ABOVE,
+            source="Section 6 narrative (tolerable-or-better outcomes)",
+        ),
+    )
+
+
 register_figure(
     "campaign",
     module=__name__,

@@ -62,6 +62,27 @@ def main(scale: float = 2.0, seed: int = 0) -> str:
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="fig7.jpeg_psnr_512k",
+            figure="fig7",
+            description="example jpeg run with CommGuard at MTBE 512k",
+            paper_value=20.2,
+            unit="dB",
+            band=ToleranceBand(pass_within=4.0, warn_within=8.0),
+            measure=Measurement("mean_quality_db", app="jpeg", mtbe=512_000.0),
+            source="Section 6 / Fig. 7 (PSNR 20.2 dB on the paper's image)",
+        ),
+    )
+
+
 register_figure(
     "fig7",
     module=__name__,

@@ -65,6 +65,32 @@ def main(
     return text
 
 
+def paper_targets():
+    """Fig. 8's headline: lost/accepted data stays below 0.2% at
+    MTBE >= 512k, with jpeg the worst app."""
+    from repro.experiments.fidelity import (
+        Comparison,
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    def below(app: str) -> PaperTarget:
+        return PaperTarget(
+            name=f"fig8.{app}_loss_512k",
+            figure="fig8",
+            description=f"{app} data loss under 0.2% at MTBE 512k",
+            paper_value=0.002,
+            unit="ratio",
+            band=ToleranceBand(pass_within=0.0, warn_within=0.002),
+            measure=Measurement("mean_loss_ratio", app=app, mtbe=512_000.0),
+            comparison=Comparison.BELOW,
+            source="Section 6.1 / Fig. 8",
+        )
+
+    return (below("jpeg"), below("fft"))
+
+
 register_figure(
     "fig8",
     module=__name__,

@@ -100,6 +100,29 @@ def main(
     return text
 
 
+def paper_targets():
+    """One MATCH target per rung of the paper's PSNR ladder."""
+    from repro.experiments.fidelity import (
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return tuple(
+        PaperTarget(
+            name=f"fig9.jpeg_psnr_{mtbe // 1000}k",
+            figure="fig9",
+            description=f"jpeg PSNR at MTBE {mtbe // 1000}k",
+            paper_value=psnr,
+            unit="dB",
+            band=ToleranceBand(pass_within=3.0, warn_within=6.0),
+            measure=Measurement("mean_quality_db", app="jpeg", mtbe=float(mtbe)),
+            source="Section 6.2 / Fig. 9",
+        )
+        for mtbe, psnr in PAPER_PSNR.items()
+    )
+
+
 register_figure(
     "fig9",
     module=__name__,

@@ -156,6 +156,57 @@ def main(
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="fig10.jpeg_quality_512k",
+            figure="fig10",
+            description="jpeg holds 20 dB at MTBE 512k",
+            paper_value=20.0,
+            unit="dB",
+            band=ToleranceBand(pass_within=3.0, warn_within=6.0),
+            measure=Measurement("mean_quality_db", app="jpeg", mtbe=512_000.0),
+            source="Section 6.2 / Fig. 10a",
+        ),
+        PaperTarget(
+            name="fig10.mp3_snr_512k",
+            figure="fig10",
+            description="mp3 holds 7.6 dB at MTBE 512k",
+            paper_value=7.6,
+            unit="dB",
+            band=ToleranceBand(pass_within=3.0, warn_within=6.0),
+            measure=Measurement("mean_quality_db", app="mp3", mtbe=512_000.0),
+            source="Section 6.2 / Fig. 10b",
+        ),
+        PaperTarget(
+            name="fig10.jpeg_baseline",
+            figure="fig10",
+            description="jpeg error-free baseline PSNR",
+            paper_value=35.6,
+            unit="dB",
+            band=ToleranceBand(pass_within=5.0, warn_within=10.0),
+            measure=Measurement("app_baseline_db", app="jpeg"),
+            source="Section 6.2 / Fig. 10a (baseline)",
+        ),
+        PaperTarget(
+            name="fig10.mp3_baseline",
+            figure="fig10",
+            description="mp3 error-free baseline SNR",
+            paper_value=9.4,
+            unit="dB",
+            band=ToleranceBand(pass_within=3.0, warn_within=6.0),
+            measure=Measurement("app_baseline_db", app="mp3"),
+            source="Section 6.2 / Fig. 10b (baseline)",
+        ),
+    )
+
+
 register_figure(
     "fig10",
     module=__name__,

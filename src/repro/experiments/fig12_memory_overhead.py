@@ -55,6 +55,60 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Comparison,
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="fig12.header_loads_gmean",
+            figure="fig12",
+            description="GMean header-load traffic under 0.2%",
+            paper_value=0.002,
+            unit="ratio",
+            band=ToleranceBand(pass_within=0.0, warn_within=0.002),
+            measure=Measurement("header_load_gmean"),
+            comparison=Comparison.BELOW,
+            source="Section 6.3 / Fig. 12 (GMean < 0.2%)",
+        ),
+        PaperTarget(
+            name="fig12.header_stores_gmean",
+            figure="fig12",
+            description="GMean header-store traffic under 0.2%",
+            paper_value=0.002,
+            unit="ratio",
+            band=ToleranceBand(pass_within=0.0, warn_within=0.002),
+            measure=Measurement("header_store_gmean"),
+            comparison=Comparison.BELOW,
+            source="Section 6.3 / Fig. 12 (GMean < 0.2%)",
+        ),
+        PaperTarget(
+            name="fig12.audiobeamformer_loads",
+            figure="fig12",
+            description="worst-case extra loads (audiobeamformer)",
+            paper_value=0.0066,
+            unit="ratio",
+            band=ToleranceBand(pass_within=1.0, warn_within=3.0, relative=True),
+            measure=Measurement("header_load_ratio", app="audiobeamformer"),
+            source="Section 6.3 / Fig. 12 (0.66% extra loads)",
+        ),
+        PaperTarget(
+            name="fig12.audiobeamformer_stores",
+            figure="fig12",
+            description="worst-case extra stores (audiobeamformer)",
+            paper_value=0.0075,
+            unit="ratio",
+            band=ToleranceBand(pass_within=1.0, warn_within=3.0, relative=True),
+            measure=Measurement("header_store_ratio", app="audiobeamformer"),
+            source="Section 6.3 / Fig. 12 (0.75% extra stores)",
+        ),
+    )
+
+
 register_figure(
     "fig12",
     module=__name__,

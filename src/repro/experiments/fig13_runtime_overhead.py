@@ -72,6 +72,39 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Comparison,
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="fig13.overhead_gmean",
+            figure="fig13",
+            description="GMean execution-time overhead ~1%",
+            paper_value=0.01,
+            unit="fraction",
+            band=ToleranceBand(pass_within=0.01, warn_within=0.03),
+            measure=Measurement("runtime_overhead_gmean"),
+            source="Section 6.4 / Fig. 13 (mean ~1%)",
+        ),
+        PaperTarget(
+            name="fig13.audiobeamformer_overhead",
+            figure="fig13",
+            description="worst-case overhead stays under 4%",
+            paper_value=0.04,
+            unit="fraction",
+            band=ToleranceBand(pass_within=0.0, warn_within=0.02),
+            measure=Measurement("runtime_overhead", app="audiobeamformer"),
+            comparison=Comparison.BELOW,
+            source="Section 6.4 / Fig. 13 (worst < 4%)",
+        ),
+    )
+
+
 register_figure(
     "fig13",
     module=__name__,

@@ -57,6 +57,37 @@ def main(scale: float = 1.0, jobs: int | None = None, cache=None) -> str:
     return text
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="fig14.subops_gmean",
+            figure="fig14",
+            description="GMean total suboperation ratio ~2%",
+            paper_value=0.02,
+            unit="fraction",
+            band=ToleranceBand(pass_within=0.01, warn_within=0.03),
+            measure=Measurement("subop_total_gmean"),
+            source="Section 6.5 / Fig. 14 (GMean ~2%)",
+        ),
+        PaperTarget(
+            name="fig14.audiobeamformer_subops",
+            figure="fig14",
+            description="worst-case suboperation ratio (audiobeamformer)",
+            paper_value=0.049,
+            unit="fraction",
+            band=ToleranceBand(pass_within=0.02, warn_within=0.05),
+            measure=Measurement("subop_total_ratio", app="audiobeamformer"),
+            source="Section 6.5 / Fig. 14 (worst 4.9%)",
+        ),
+    )
+
+
 register_figure(
     "fig14",
     module=__name__,

@@ -15,6 +15,10 @@ from repro.quality.metrics import QUALITY_CAP_DB
 #: Plot glyphs assigned to series in order.
 MARKERS = "ox+*#@%&"
 
+#: Glyph marking a missing cell: a point whose y is nan/inf still shows
+#: up as an explicit gap on the x axis instead of silently vanishing.
+GAP_MARKER = "·"
+
 
 def _finite(values: Sequence[float]) -> list[float]:
     return [v for v in values if math.isfinite(v)]
@@ -30,8 +34,10 @@ def ascii_chart(
 ) -> str:
     """Render named (x, y) series as an ASCII chart with a legend.
 
-    Non-finite y values are skipped.  ``log_x`` plots x on a log axis (the
-    paper's MTBE axes are logarithmic).
+    A non-finite y value renders as an explicit ``·`` gap on the x axis
+    (a missing cell must not silently vanish from the plot); a chart with
+    no finite data at all degrades to a message.  ``log_x`` plots x on a
+    log axis (the paper's MTBE axes are logarithmic).
     """
     points_by_name = {
         name: [
@@ -41,10 +47,18 @@ def ascii_chart(
         ]
         for name, pts in series.items()
     }
+    gap_xs = sorted(
+        {
+            (math.log10(x) if log_x else x)
+            for pts in series.values()
+            for x, y in pts
+            if not math.isfinite(y) and (not log_x or x > 0)
+        }
+    )
     all_points = [p for pts in points_by_name.values() for p in pts]
     if not all_points:
         return "(no finite data to plot)"
-    xs = [p[0] for p in all_points]
+    xs = [p[0] for p in all_points] + gap_xs
     ys = [p[1] for p in all_points]
     x_min, x_max = min(xs), max(xs)
     y_min, y_max = min(ys), max(ys)
@@ -54,6 +68,10 @@ def ascii_chart(
         y_max = y_min + 1.0
 
     grid = [[" "] * width for _ in range(height)]
+    for x in gap_xs:
+        # Missing cells sit on the bottom row; real markers overwrite them.
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        grid[height - 1][col] = GAP_MARKER
     for index, (name, pts) in enumerate(points_by_name.items()):
         marker = MARKERS[index % len(MARKERS)]
         for x, y in pts:
@@ -74,6 +92,8 @@ def ascii_chart(
         f"{MARKERS[i % len(MARKERS)]} {name}"
         for i, name in enumerate(points_by_name)
     )
+    if gap_xs:
+        legend += f"   {GAP_MARKER} missing"
     lines.append("  legend: " + legend)
     return "\n".join(lines)
 

@@ -125,6 +125,27 @@ def main() -> str:
     return "\n\n".join([table1_text(), table2_text(), storage_text()])
 
 
+def paper_targets():
+    from repro.experiments.fidelity import (
+        Measurement,
+        PaperTarget,
+        ToleranceBand,
+    )
+
+    return (
+        PaperTarget(
+            name="tables.reliable_storage",
+            figure="tables",
+            description="reliable on-core storage for 4 queues (~82 B)",
+            paper_value=656.0,
+            unit="bits",
+            band=ToleranceBand(pass_within=0.1, warn_within=0.25, relative=True),
+            measure=Measurement("storage_bits"),
+            source="Section 5.5 (~82 bytes)",
+        ),
+    )
+
+
 register_figure(
     "tables",
     module=__name__,

@@ -2,7 +2,12 @@
 
 import math
 
-from repro.experiments.plotting import ascii_chart, loss_chart, quality_chart
+from repro.experiments.plotting import (
+    GAP_MARKER,
+    ascii_chart,
+    loss_chart,
+    quality_chart,
+)
 
 
 class TestAsciiChart:
@@ -42,6 +47,29 @@ class TestAsciiChart:
     def test_bounds_printed(self):
         chart = ascii_chart({"a": [(0, -3.5), (1, 7.5)]})
         assert "7.5" in chart and "-3.5" in chart
+
+    def test_nan_cell_renders_gap_marker(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, math.nan), (3, 3.0)]})
+        assert GAP_MARKER in chart
+        assert f"{GAP_MARKER} missing" in chart
+
+    def test_gap_extends_x_range(self):
+        # The missing point sits beyond every finite x: the axis must
+        # stretch to show the gap instead of clipping it away.
+        chart = ascii_chart({"a": [(1, 1.0), (2, 2.0), (10, math.inf)]})
+        assert GAP_MARKER in chart
+        assert "10" in chart.splitlines()[-2]  # x-bounds line
+
+    def test_no_gap_marker_without_missing_cells(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, 2.0)]})
+        assert GAP_MARKER not in chart
+
+    def test_gap_marker_under_log_x(self):
+        chart = ascii_chart(
+            {"a": [(1_000, 1.0), (10_000, math.nan), (100_000, 2.0)]},
+            log_x=True,
+        )
+        assert GAP_MARKER in chart
 
 
 class TestFigureCharts:
