@@ -57,6 +57,7 @@ from repro.machine.errors import ErrorModel
 from repro.machine.faults import DEFAULT_FAULT_MODEL, FaultModelSpec
 from repro.machine.protection import ProtectionLevel
 from repro.machine.runstats import RunResult
+from repro.observability.profile import ProfileSession, engine_span
 from repro.observability.tracer import InMemoryTracer, JsonlTracer, coerce_tracer
 from repro.quality.metrics import QUALITY_CAP_DB, clamp_db
 
@@ -253,6 +254,10 @@ class RunReport:
     trace_path: Path | None = None
     #: Collected events, when *trace* was ``True`` (in-memory tracing).
     events: "list[TraceEvent] | None" = field(default=None, repr=False)
+    #: The :class:`~repro.observability.ProfileSession` the run filled in,
+    #: when one was passed as ``profile=``.  In-memory only, like
+    #: ``result`` and ``events`` — never part of the serialized document.
+    profile: ProfileSession | None = field(default=None, repr=False)
 
     # -- convenience views ---------------------------------------------------
 
@@ -341,6 +346,7 @@ def run(
     error_model: ErrorModel | None = None,
     fault_model: FaultModelSpec | str | None = None,
     options: EngineOptions | None = None,
+    profile: ProfileSession | None = None,
     trace: "Tracer | str | Path | bool | None" = _UNSET,  # deprecated alias
     scale: float = _UNSET,  # deprecated alias
 ) -> RunReport:
@@ -373,6 +379,14 @@ def run(
     Runs with an ``error_model`` override never touch the store: the
     override is not part of the spec's content key, so neither a cached
     baseline record nor a store write would be faithful to it.
+
+    ``profile`` takes a :class:`~repro.observability.ProfileSession`: the
+    run records its simulated-time timeline into ``profile.sim`` and its
+    engine wall-clock spans into ``profile.engine`` (see
+    :mod:`repro.observability.profile`).  A profiled run always executes
+    — it never returns a store hit, which would have no timeline — but
+    its measurements are bit-identical to an unprofiled run of the same
+    spec, so storing/caching them stays sound.
     """
     opts = options or EngineOptions()
     if scale is not _UNSET:
@@ -435,7 +449,13 @@ def run(
     # content key), so a store hit would return a baseline record that
     # ignores the override and a store write would poison the baseline
     # key — overridden runs bypass the store entirely, like traced ones.
-    if store is not None and trace is None and error_model is None:
+    # Profiled runs skip the hit path too: a store hit has no timeline.
+    if (
+        store is not None
+        and trace is None
+        and error_model is None
+        and profile is None
+    ):
         cached = store.load(spec.content_key(scale))
         if cached is not None:
             return RunReport(
@@ -444,18 +464,23 @@ def run(
                 result=None,
                 app=runner.app(bench.name),
             )
+    engine = profile.engine if profile is not None else None
     try:
-        record, result = runner._execute(
-            bench.name,
-            level,
-            mtbe=rate,
-            seed=seed,
-            commguard_config=config,
-            error_model=error_model,
-            tracer=tracer,
-            fault_model=fault.canonical(),
-            exec_mode=opts.exec_mode,
-        )
+        with engine_span(
+            engine, "run", app=bench.name, protection=level.name, seed=seed
+        ):
+            record, result = runner._execute(
+                bench.name,
+                level,
+                mtbe=rate,
+                seed=seed,
+                commguard_config=config,
+                error_model=error_model,
+                tracer=tracer,
+                fault_model=fault.canonical(),
+                exec_mode=opts.exec_mode,
+                profiler=profile.sim if profile is not None else None,
+            )
     finally:
         if owned is not None:
             owned.close()
@@ -471,6 +496,7 @@ def run(
         app=runner.app(bench.name),
         trace_path=owned.path if isinstance(owned, JsonlTracer) else None,
         events=list(tracer.events) if isinstance(tracer, InMemoryTracer) else None,
+        profile=profile,
     )
 
 
@@ -786,6 +812,7 @@ def sweep(
     frame_scale: int = 1,
     fault_model: FaultModelSpec | str | None = None,
     options: EngineOptions | None = None,
+    profile: ProfileSession | None = None,
     collect_results: bool = False,
     campaign: str | None = None,
     # Deprecated loose-kwarg aliases over options=EngineOptions(...):
@@ -831,6 +858,14 @@ def sweep(
     the on-disk cache, which stores flat records only.  A prebuilt *app*
     forces the same path: worker processes and the cache only know how to
     rebuild registry apps by name.
+
+    ``profile`` takes a :class:`~repro.observability.ProfileSession`;
+    the sweep records its engine wall-clock spans (the ``sweep`` root,
+    cache scans, per-run wall seconds, worker pool lifecycle) into
+    ``profile.engine``.  Simulated-time timelines are a per-run
+    artifact — use :func:`run` with ``profile=`` for those.  Wall time
+    is a nondeterministic side channel: it never enters cache keys,
+    trace bytes, stored records, or report documents.
 
     ``options.store`` turns the sweep into a resumable **campaign**
     recorded in a :class:`~repro.experiments.store.RunStore`: the grid is
@@ -902,9 +937,15 @@ def sweep(
                     )
                 )
 
+    engine = profile.engine if profile is not None else None
     in_process = collect_results or isinstance(app, BenchmarkApp)
     if in_process:
-        points = _sweep_in_process(bench, specs, scale, options, collect_results)
+        with engine_span(
+            engine, "sweep", app=bench.name, points=len(specs), mode="in-process"
+        ):
+            points = _sweep_in_process(
+                bench, specs, scale, options, collect_results
+            )
         return SweepReport(app=bench, points=points, options=options)
 
     run_store = RunStore.coerce(options.store)
@@ -919,6 +960,7 @@ def sweep(
         run_timeout=options.run_timeout,
         retry_backoff=options.retry_backoff,
         strict=not options.keep_going,
+        profiler=engine,
     )
     if run_store is not None:
         run_store.begin_campaign(
@@ -930,7 +972,10 @@ def sweep(
             options=_options_to_dict(options),
         )
         runner.attach_store(run_store, campaign=campaign)
-    records = runner.run_specs(specs)
+    with engine_span(
+        engine, "sweep", app=bench.name, points=len(specs), jobs=options.jobs
+    ):
+        records = runner.run_specs(specs)
     failures = {f.index: f for f in runner.last_stats.failures}
     points = [
         SweepPoint(spec=s, record=r, failure=failures.get(i))

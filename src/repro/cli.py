@@ -12,6 +12,8 @@ Commands:
   ``--keep-going`` — retry failed runs with deterministic backoff,
   preempt hung runs, and finish the sweep past exhausted points; Ctrl-C
   exits cleanly with every completed run already flushed to the cache.
+  ``--metrics-out FILE`` writes the engine's metrics registry in
+  Prometheus textfile format after the sweep.
 * ``paper`` — run the whole paper reproduction at a scale tier
   (``--scale smoke|reduced|full``) through the result store, grade every
   measured value against the paper's reported numbers, and write the
@@ -20,7 +22,17 @@ Commands:
   on an overall FAIL).
 * ``report`` — re-render a JSON sweep report written by ``sweep
   --output FILE`` (same summary block as the live sweep).
-* ``trace`` — summarize or tail a JSONL trace file.
+* ``trace`` — summarize or tail a JSONL trace file (``--kind`` filters
+  to the named event kinds).
+* ``profile`` — deep profiling: ``profile run`` executes one benchmark
+  with the simulated-time timeline recorder and engine span profiler
+  attached and exports a Chrome trace-event JSON for Perfetto /
+  ``chrome://tracing`` (``--timeline-out`` additionally writes the
+  canonical timeline bytes, byte-identical across schedulers);
+  ``profile trace`` renders an existing JSONL trace the same way.
+* ``top`` — store-backed campaign health: done/failed/pending,
+  executed-vs-hit split, run wall seconds, throughput and an ETA for
+  the pending points.
 * ``cache`` — inspect or clear the on-disk result cache.
 * ``store`` — the SQLite result store: ``stats``, ``query`` (filter by
   app/protection/mtbe/seed/fault-model), ``gc`` (prune superseded
@@ -338,6 +350,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[sweep] {runner.last_stats.summary()}")
         for failure in runner.last_stats.failures:
             print(f"[sweep] failed: {failure.summary()}", file=sys.stderr)
+    if args.metrics_out is not None and _write_metrics(runner, args.metrics_out):
+        return 1
     if args.trace_dir is not None:
         print(f"traces under {args.trace_dir}")
     if args.output is not None:
@@ -364,6 +378,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"cannot write report: {error}", file=sys.stderr)
             return 1
         print(f"report written to {args.output}")
+    return 0
+
+
+def _write_metrics(runner: ParallelRunner, path: str) -> int:
+    """Write the engine's metrics registry as a Prometheus textfile.
+    Returns nonzero on I/O failure (the sweep itself already succeeded)."""
+    try:
+        Path(path).write_text(runner.metrics.to_prometheus())
+    except OSError as error:
+        print(f"cannot write metrics: {error}", file=sys.stderr)
+        return 1
+    print(f"metrics written to {path}")
     return 0
 
 
@@ -431,6 +457,8 @@ def _sweep_resume(args: argparse.Namespace, store: RunStore) -> int:
     _render_report(report)
     if runner.last_stats is not None:
         print(f"[sweep] {runner.last_stats.summary()}")
+    if args.metrics_out is not None and _write_metrics(runner, args.metrics_out):
+        return 1
     if args.output is not None:
         try:
             Path(args.output).write_text(report.to_json() + "\n")
@@ -548,6 +576,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"malformed trace: {error}", file=sys.stderr)
         return 1
+    if args.kind:
+        wanted = set(args.kind)
+        pairs = [(data, event) for data, event in pairs if data.get("kind") in wanted]
 
     if args.tail is not None:
         for data, _event in pairs[-args.tail :]:
@@ -564,7 +595,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
         rows.append([kind, count])
     rows.append(["errors (masked)", summary["errors"]["masked"]])
     rows.append(["errors (unmasked)", summary["errors"]["unmasked"]])
+    if summary["dropped"]:
+        rows.append(["events dropped", summary["dropped"]])
     print(format_table(["metric", "value"], rows))
+    if summary["high_water"]:
+        hw_rows = [
+            [f"q{qid}", hw["crossings"], hw["watermark"], hw["units"]]
+            for qid, hw in summary["high_water"].items()
+        ]
+        print("per-queue high-water crossings:")
+        print(format_table(["queue", "crossings", "watermark", "peak units"],
+                           hw_rows))
     if summary["edges"]:
         edge_rows = [
             [
@@ -579,6 +620,187 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ]
         print("per-edge realignment:")
         print(format_table(["edge", "pads", "discards", "fc range"], edge_rows))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a run (or render a trace) as Chrome trace-event JSON."""
+    from repro.observability.export import (
+        profile_to_chrome,
+        trace_to_chrome,
+        write_chrome_trace,
+    )
+
+    if args.profile_command == "trace":
+        try:
+            pairs = list(read_trace(args.file))
+        except OSError as error:
+            print(f"cannot read trace: {error}", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"malformed trace: {error}", file=sys.stderr)
+            return 1
+        try:
+            write_chrome_trace(args.out, trace_to_chrome(pairs))
+        except OSError as error:
+            print(f"cannot write profile: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"{len(pairs)} event(s) rendered to {args.out} "
+            "(load in Perfetto or chrome://tracing)"
+        )
+        return 0
+
+    from repro.core.config import CommGuardConfig
+    from repro.machine.system import SystemConfig, run_program
+    from repro.observability.profile import ProfileSession
+
+    protection = ProtectionLevel.parse(args.protection)
+    session = ProfileSession()
+    bench = api.resolve_app(args.app, scale=args.scale)
+    # The direct machine path (not api.run): profiling wants explicit
+    # scheduler choice, which is a SystemConfig knob the engine
+    # deliberately keeps out of run specs and cache keys.
+    with session.engine.span(
+        "run",
+        app=args.app,
+        protection=protection.value,
+        seed=args.seed,
+        scheduler=args.scheduler,
+    ):
+        result = run_program(
+            bench.program,
+            protection,
+            mtbe=args.mtbe,
+            seed=args.seed,
+            commguard_config=CommGuardConfig(frame_scale=args.frame_scale),
+            system_config=SystemConfig(
+                exec_mode=args.exec_mode, scheduler=args.scheduler
+            ),
+            fault_model=args.fault_model,
+            profiler=session.sim,
+        )
+    try:
+        write_chrome_trace(
+            args.out, profile_to_chrome(sim=session.sim, engine=session.engine)
+        )
+    except OSError as error:
+        print(f"cannot write profile: {error}", file=sys.stderr)
+        return 1
+    segments = sum(len(segs) for segs in session.sim.threads.values())
+    samples = sum(len(series) for series in session.sim.queues.values())
+    print(
+        f"profiled {args.app} ({protection.value}, seed {args.seed}, "
+        f"{args.scheduler} scheduler): {result.errors_injected} error(s) "
+        f"injected over {result.execution_time():,} cycles"
+    )
+    print(
+        f"  {len(session.sim.threads)} thread track(s), {segments} segment(s), "
+        f"{len(session.sim.queues)} queue(s), {samples} occupancy sample(s)"
+    )
+    print(f"profile written to {args.out} (load in Perfetto or chrome://tracing)")
+    if args.timeline_out is not None:
+        try:
+            Path(args.timeline_out).write_bytes(session.sim.to_json_bytes())
+        except OSError as error:
+            print(f"cannot write timeline: {error}", file=sys.stderr)
+            return 1
+        print(f"timeline written to {args.timeline_out}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Store-backed campaign health view."""
+    store = RunStore(args.store)
+    if args.campaign is None:
+        ids = store.campaign_ids()
+        if not ids:
+            print(f"no campaigns in {store.path}")
+            return 0
+        print(f"campaigns in {store.path}:")
+        for campaign_id in ids:
+            print(f"  {store.campaign(campaign_id).summary()}")
+        by_app: dict[str, list[float]] = {}
+        for row in store.query():
+            wall = row.provenance.get("wall_seconds")
+            if isinstance(wall, (int, float)):
+                by_app.setdefault(row.spec.app, []).append(float(wall))
+        if by_app:
+            print("executed wall seconds by app (stored provenance):")
+            table = [
+                [app, len(walls), f"{sum(walls):.1f}s",
+                 f"{sum(walls) / len(walls):.2f}s"]
+                for app, walls in sorted(by_app.items())
+            ]
+            print(format_table(["app", "runs", "total", "mean"], table))
+        print("(`repro top --store PATH --campaign ID` for one campaign)")
+        return 0
+    try:
+        status = store.campaign(args.campaign)
+        runs = store.campaign_runs(args.campaign)
+    except ValueError as error:
+        print(f"repro top: {error}", file=sys.stderr)
+        return 2
+    total = len(status.keys)
+    done, failed = len(status.done), len(status.failed)
+    pending = total - done - failed
+    executed = sum(
+        1 for _pos, run in runs
+        if run.provenance.get("campaign") == args.campaign
+    )
+    hits = len(runs) - executed
+    walls = [
+        float(run.provenance["wall_seconds"])
+        for _pos, run in runs
+        if isinstance(run.provenance.get("wall_seconds"), (int, float))
+    ]
+    stamps = [
+        float(run.provenance["written_at"])
+        for _pos, run in runs
+        if isinstance(run.provenance.get("written_at"), (int, float))
+    ]
+    jobs = next(
+        (
+            run.provenance["jobs"]
+            for _pos, run in runs
+            if isinstance(run.provenance.get("jobs"), int)
+        ),
+        status.options.get("jobs") or 1,
+    )
+    progress = 100.0 * (done + failed) / total if total else 100.0
+    rows = [
+        ["campaign", args.campaign],
+        ["app", f"{status.app} (scale {status.scale:g})"],
+        ["grid", total],
+        ["done", f"{done} ({progress:.0f}% incl. failed)"],
+        ["failed", failed],
+        ["pending", pending],
+        ["executed", executed],
+        ["store hits", hits],
+    ]
+    if walls:
+        mean_wall = sum(walls) / len(walls)
+        rows.append(["run wall (mean)", f"{mean_wall:.2f}s"])
+        rows.append(["run wall (total)", f"{sum(walls):.1f}s"])
+        if pending:
+            rows.append(
+                ["ETA", f"~{pending * mean_wall / max(jobs, 1):.0f}s "
+                        f"({pending} pending at jobs={jobs})"]
+            )
+    if len(stamps) > 1 and max(stamps) > min(stamps):
+        span = max(stamps) - min(stamps)
+        rows.append(["throughput", f"{len(stamps) / span:.2f} runs/s"])
+    print(format_table(["metric", "value"], rows))
+    if failed:
+        for position in sorted(status.failed):
+            spec = status.specs[position]
+            failure = store.failure_for(status.keys[position])
+            detail = f": {failure.summary()}" if failure is not None else ""
+            print(
+                f"  failed #{position} {spec.app} {spec.protection.value} "
+                f"mtbe={spec.mtbe} seed={spec.seed}{detail}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -826,6 +1048,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(re-render it later with `repro report FILE`)",
     )
     sweep_parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the engine's metrics registry as a Prometheus "
+        "textfile (node_exporter textfile-collector format)",
+    )
+    sweep_parser.add_argument(
         "--store", nargs="?", const=True, default=None, metavar="PATH",
         help="record the sweep as a resumable campaign in the SQLite "
         "result store (default path: .repro_store.sqlite / REPRO_STORE)",
@@ -860,7 +1087,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--tail", type=_positive_int, default=None, metavar="N",
         help="print the last N raw events instead of the summary",
     )
+    trace_parser.add_argument(
+        "--kind", action="append", default=None, metavar="KIND",
+        help="only consider events of this kind (repeatable; applies to "
+        "both the summary and --tail)",
+    )
     trace_parser.set_defaults(func=cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile a run (or render a trace) as Perfetto-loadable JSON",
+    )
+    profile_sub = profile_parser.add_subparsers(
+        dest="profile_command", required=True
+    )
+    profile_run = profile_sub.add_parser(
+        "run",
+        help="run one benchmark with the simulated-time timeline recorder "
+        "and engine span profiler attached",
+    )
+    profile_run.add_argument("app", choices=list(APP_ORDER))
+    profile_run.add_argument(
+        "--protection", choices=list(PROTECTION_CHOICES), default="commguard"
+    )
+    profile_run.add_argument("--mtbe", type=_parse_mtbe, default=None,
+                             help="per-core MTBE, e.g. 512k or 1M")
+    profile_run.add_argument(
+        "--fault-model", type=_parse_fault_model, default="bit_flip",
+        metavar="NAME[:P=V,...]",
+        help="fault model spec, e.g. burst:p_cluster=0.7 (see `repro list`)",
+    )
+    profile_run.add_argument("--seed", type=int, default=0)
+    profile_run.add_argument("--scale", type=float, default=1.0)
+    profile_run.add_argument("--frame-scale", type=int, default=1)
+    profile_run.add_argument(
+        "--scheduler", choices=["event", "legacy"], default="event",
+        help="run loop to profile (the recorded timeline is byte-identical "
+        "either way — that invariance is CI-checked)",
+    )
+    profile_run.add_argument(
+        "--out", default="profile.json", metavar="FILE",
+        help="Chrome trace-event JSON output (default: profile.json)",
+    )
+    profile_run.add_argument(
+        "--timeline-out", default=None, metavar="FILE",
+        help="also write the canonical simulated-time timeline JSON "
+        "(the deterministic, byte-comparable artifact)",
+    )
+    _add_exec_mode_option(profile_run)
+    profile_run.set_defaults(func=cmd_profile)
+    profile_trace = profile_sub.add_parser(
+        "trace",
+        help="render an existing JSONL trace as Chrome trace-event JSON",
+    )
+    profile_trace.add_argument("file", help="trace file written by run --trace")
+    profile_trace.add_argument(
+        "--out", default="profile.json", metavar="FILE",
+        help="Chrome trace-event JSON output (default: profile.json)",
+    )
+    profile_trace.set_defaults(func=cmd_profile)
+
+    top_parser = sub.add_parser(
+        "top", help="campaign health view over the SQLite result store"
+    )
+    top_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store database (default: .repro_store.sqlite / REPRO_STORE)",
+    )
+    top_parser.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign to inspect (default: list campaigns and per-app "
+        "wall seconds)",
+    )
+    top_parser.set_defaults(func=cmd_top)
 
     cache_parser = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_parser.add_argument("action", choices=["info", "clear"])

@@ -107,6 +107,11 @@ class GuardedQueue:
         #: Optional :class:`repro.machine.scheduler.WakeHub`, installed by
         #: the event scheduler for the duration of a run.
         self.wake_hub = None
+        #: Optional :class:`repro.observability.profile.SimProfiler` (set
+        #: by the system builder).  Occupancy — total buffered units,
+        #: local and published — is sampled after every successful
+        #: push/pop, the scheduler-invariant mutation points.
+        self.profiler = None
         self._watermarks = [
             (mark, int(mark * geometry.capacity_units))
             for mark in HIGH_WATER_MARKS
@@ -139,6 +144,8 @@ class GuardedQueue:
             self._local_headers.append(len(self._producer_local) - 1)
         if len(self._producer_local) >= self.geometry.workset_units:
             self._publish(stats, full_handoff=True)
+        if self.profiler is not None:
+            self.profiler.queue_sample(self.qid, self.total_units())
         return True
 
     def push_items(self, words: list[int], start: int, stats: CommGuardStats) -> int:
@@ -148,10 +155,11 @@ class GuardedQueue:
 
         Observably identical to the equivalent :meth:`push_unit` sequence
         (same sub-operation charges, same publish points, same peak) —
-        except for the per-crossing ``QueueHighWater`` payloads, which is
-        why the bulk path declines whenever a tracer is attached.
+        except for the per-crossing ``QueueHighWater`` payloads and the
+        per-operation occupancy samples, which is why the bulk path
+        declines whenever a tracer or profiler is attached.
         """
-        if self.tracer is not None:
+        if self.tracer is not None or self.profiler is not None:
             return 0
         local = self._producer_local
         total = self.visible_units() + len(local)
@@ -225,6 +233,8 @@ class GuardedQueue:
             self._header_offsets.popleft()
         if self.wake_hub is not None:
             self.wake_hub.on_pop(self.qid)
+        if self.profiler is not None:
+            self.profiler.queue_sample(self.qid, self.total_units())
         return unit
 
     def pop_plain_items(self, limit: int, stats: CommGuardStats) -> list[DataUnit]:
@@ -233,6 +243,8 @@ class GuardedQueue:
 
         Observably identical to the equivalent :meth:`pop_unit` sequence.
         """
+        if self.profiler is not None:
+            return []  # per-unit path samples occupancy per operation
         take = min(limit, self.plain_visible_units())
         if take <= 0:
             return []

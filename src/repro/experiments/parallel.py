@@ -66,6 +66,7 @@ from repro.observability.events import (
     WorkerCrashed,
 )
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profile import engine_span
 from repro.quality.metrics import QUALITY_CAP_DB
 
 ENV_JOBS = "REPRO_JOBS"
@@ -430,6 +431,12 @@ class ParallelRunner(SimulationRunner):
         this id in the store (idempotently), making the sweep a resumable
         job — an interrupted campaign re-run with the same id restarts
         exactly where it stopped, at any ``jobs`` value.
+    ``profiler``
+        Optional :class:`~repro.observability.profile.EngineProfiler`:
+        the sweep records wall-clock spans (sweep → cache scan → run,
+        pool lifetimes) and cache-hit instants into it.  Wall time is a
+        nondeterministic side channel — spans never enter cache keys,
+        trace bytes, stored records, or reports.
     """
 
     def __init__(
@@ -448,6 +455,7 @@ class ParallelRunner(SimulationRunner):
         metrics: MetricsRegistry | None = None,
         store: RunStore | str | bool | None = None,
         campaign: str | None = None,
+        profiler=None,
     ) -> None:
         super().__init__(scale=scale)
         if retries < 0:
@@ -465,6 +473,7 @@ class ParallelRunner(SimulationRunner):
         self.strict = strict
         self.fault_hook = fault_hook
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
         self.last_stats: SweepStats | None = None
         self.store: RunStore | None = None
         self.campaign = campaign
@@ -531,29 +540,37 @@ class ParallelRunner(SimulationRunner):
                 self.store.begin_campaign(self.campaign, specs, self.scale)
 
         pending: list[tuple[int, RunSpec, str | None]] = []
-        for index, spec in enumerate(specs):
-            key = spec.content_key(self.scale) if self.cache is not None else None
-            if self.trace_dir is not None and spec.trace is None:
-                trace_key = key if key is not None else spec.content_key(self.scale)
-                spec = replace(
-                    spec,
-                    trace=str(Path(self.trace_dir) / f"{trace_key}.jsonl"),
-                )
-            cached = self.cache.load(key) if key is not None else None
-            if cached is not None and self._trace_satisfied(spec):
-                records[index] = cached
-                stats.cache_hits += 1
-                self.metrics.inc("sweep_cache_hits", app=spec.app)
-                self._tick(stats, wall_before)
-            else:
-                pending.append((index, spec, key))
+        with engine_span(self.profiler, "cache-scan", total=len(specs)):
+            for index, spec in enumerate(specs):
+                key = spec.content_key(self.scale) if self.cache is not None else None
+                if self.trace_dir is not None and spec.trace is None:
+                    trace_key = key if key is not None else spec.content_key(self.scale)
+                    spec = replace(
+                        spec,
+                        trace=str(Path(self.trace_dir) / f"{trace_key}.jsonl"),
+                    )
+                cached = self.cache.load(key) if key is not None else None
+                if cached is not None and self._trace_satisfied(spec):
+                    records[index] = cached
+                    stats.cache_hits += 1
+                    self.metrics.inc("sweep_cache_hits", app=spec.app)
+                    if self.profiler is not None:
+                        self.profiler.event(
+                            "cache-hit", app=spec.app, seed=spec.seed
+                        )
+                    self._tick(stats, wall_before)
+                else:
+                    pending.append((index, spec, key))
 
         try:
             if pending:
-                if jobs == 1 or len(pending) == 1:
-                    self._run_serial(pending, records, stats, wall_before)
-                else:
-                    self._run_pool(pending, records, stats, wall_before, jobs)
+                with engine_span(
+                    self.profiler, "execute", pending=len(pending), jobs=jobs
+                ):
+                    if jobs == 1 or len(pending) == 1:
+                        self._run_serial(pending, records, stats, wall_before)
+                    else:
+                        self._run_pool(pending, records, stats, wall_before, jobs)
         except KeyboardInterrupt:
             stats.interrupted = True
             raise
@@ -683,6 +700,8 @@ class ParallelRunner(SimulationRunner):
             pool.shutdown(wait=True)
 
     def _spawn_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self.profiler is not None:
+            self.profiler.event("pool-spawn", workers=max(workers, 1))
         return ProcessPoolExecutor(
             max_workers=max(workers, 1),
             initializer=_init_worker,
@@ -797,6 +816,14 @@ class ParallelRunner(SimulationRunner):
         records[index] = record
         stats.executed += 1
         self.metrics.inc("sweep_runs_executed", app=spec.app)
+        if run_wall is not None:
+            self.metrics.observe("sweep_run_wall_seconds", run_wall, app=spec.app)
+        if self.profiler is not None and run_wall is not None:
+            # The attempt's own elapsed time, measured in whichever
+            # process executed it (queue wait excluded).
+            self.profiler.record(
+                "run", run_wall, app=spec.app, seed=spec.seed, index=index
+            )
         if self.store is not None and key is not None:
             # run_wall is this run's own elapsed time in its executing
             # process — not the sweep's cumulative wall clock.
@@ -835,6 +862,7 @@ class ParallelRunner(SimulationRunner):
                 total=stats.total,
                 executed=stats.executed,
                 cache_hits=stats.cache_hits,
+                failures=stats.failed,
             )
         )
 

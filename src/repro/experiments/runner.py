@@ -139,6 +139,7 @@ class SimulationRunner:
         tracer=None,
         fault_model: str | None = None,
         exec_mode: str | None = None,
+        profiler=None,
     ) -> tuple[RunRecord, RunResult]:
         """Run once; returns the flat record plus the raw result."""
         app = self.app(app_name)
@@ -156,6 +157,7 @@ class SimulationRunner:
             error_model=error_model,
             tracer=tracer,
             fault_model=fault_model,
+            profiler=profiler,
         )
         quality = app.quality(result)
         stats = result.commguard_stats()
@@ -193,12 +195,14 @@ class SimulationRunner:
         )
         return self._run_via_api(*args, **kwargs)[0]
 
-    def run_spec(self, spec, tracer=None) -> tuple[RunRecord, RunResult]:
+    def run_spec(self, spec, tracer=None, profiler=None) -> tuple[RunRecord, RunResult]:
         """Run one frozen :class:`~repro.experiments.parallel.RunSpec`.
 
         When *tracer* is ``None`` and the spec carries a ``trace`` path, a
         :class:`~repro.observability.JsonlTracer` streaming there is opened
-        for the run and closed afterwards.
+        for the run and closed afterwards.  ``profiler`` optionally records
+        the run's simulated-time timeline
+        (:class:`~repro.observability.profile.SimProfiler`).
         """
         from repro.observability.tracer import coerce_tracer
 
@@ -217,6 +221,7 @@ class SimulationRunner:
                 tracer=tracer,
                 fault_model=getattr(spec, "fault_model", None),
                 exec_mode=getattr(spec, "exec_mode", None),
+                profiler=profiler,
             )
         finally:
             if owned is not None:

@@ -612,6 +612,47 @@ class RunStore:
             failed=failed,
         )
 
+    def campaign_runs(self, campaign: str) -> list[tuple[int, StoredRun]]:
+        """Completed rows of one campaign, in grid-position order.
+
+        Joins the campaign's spec grid against ``runs`` and returns
+        ``(position, StoredRun)`` pairs for every position that has a
+        stored result.  The provenance dicts carry the execution-side
+        facts (``wall_seconds``, ``written_at``, ``worker``, ``jobs``,
+        ``campaign``) that campaign health views aggregate.  Raises
+        ``ValueError`` for an unknown campaign.
+        """
+        conn = self._conn()
+        if (
+            conn.execute(
+                "SELECT 1 FROM campaigns WHERE campaign=?", (campaign,)
+            ).fetchone()
+            is None
+        ):
+            known = ", ".join(self.campaign_ids()) or "none"
+            raise ValueError(
+                f"unknown campaign {campaign!r} in {self.path} (known: {known})"
+            )
+        rows = conn.execute(
+            "SELECT cs.position, r.key, r.spec, r.scale, r.record, r.provenance "
+            "FROM campaign_specs cs JOIN runs r ON r.key = cs.key "
+            "WHERE cs.campaign=? ORDER BY cs.position",
+            (campaign,),
+        ).fetchall()
+        return [
+            (
+                int(row[0]),
+                StoredRun(
+                    key=row[1],
+                    spec=spec_from_dict(json.loads(row[2])),
+                    scale=float(row[3]),
+                    record=record_from_dict(json.loads(row[4])),
+                    provenance=json.loads(row[5]),
+                ),
+            )
+            for row in rows
+        ]
+
     def campaign_ids(self) -> tuple[str, ...]:
         return tuple(
             row[0]

@@ -50,6 +50,19 @@ class FiringPlan:
     memory_stores: int
     n_outputs: int
 
+    def describe(self) -> dict:
+        """Static firing shape as plain JSON — the thread-track metadata
+        of a profiled timeline (:class:`~repro.observability.profile.SimProfiler`),
+        so an exported timeline explains each track's per-firing cost and
+        rates without the program graph at hand."""
+        return {
+            "cost": self.cost,
+            "input_rates": list(self.input_rates),
+            "output_rates": list(self.output_rates),
+            "memory_loads": self.memory_loads,
+            "memory_stores": self.memory_stores,
+        }
+
 
 def compile_plan(node: Filter) -> FiringPlan:
     """Compile *node*'s statically-known firing shape into a plan."""

@@ -37,6 +37,12 @@ class RawQueue:
     #: Optional :class:`repro.machine.scheduler.WakeHub`, installed by the
     #: event scheduler for the duration of a run (``None`` otherwise).
     wake_hub = None
+    #: Optional :class:`repro.observability.profile.SimProfiler`, set by
+    #: the system builder.  Occupancy is sampled only after *successful*
+    #: mutations (push/pop/corrupt) — the same points that notify the
+    #: wake hub — because successful mutations happen in the same order
+    #: under every scheduler, while blocked retries do not.
+    profiler = None
 
     def push(self, word: int) -> bool:
         """Append a word; ``False`` when the queue appears full (block)."""
@@ -79,6 +85,11 @@ class RawQueue:
             if self.tracer is not None:
                 self._emit_high_water(occupancy)
 
+    def _profile_sample(self) -> None:
+        # Corrupted pointers can make occupancy() astronomical; samples
+        # are capped at the physical buffer like the peak statistics.
+        self.profiler.queue_sample(self.qid, min(self.occupancy(), self.capacity))
+
     def _emit_high_water(self, occupancy: int) -> None:
         capacity = self.capacity
         pending = getattr(self, "_watermarks", None)
@@ -111,6 +122,8 @@ class ReliableQueue(RawQueue):
         self._track_peak()
         if self.wake_hub is not None:
             self.wake_hub.on_push(self.qid)
+        if self.profiler is not None:
+            self._profile_sample()
         return True
 
     def pop(self) -> int | None:
@@ -123,12 +136,15 @@ class ReliableQueue(RawQueue):
             self._read = 0
         if self.wake_hub is not None:
             self.wake_hub.on_pop(self.qid)
+        if self.profiler is not None:
+            self._profile_sample()
         return word
 
     def push_many(self, words: list[int], start: int) -> int:
-        if self.tracer is not None:
-            # High-water events carry the occupancy at each crossing; only
-            # the per-word path reproduces those bytes exactly.
+        if self.tracer is not None or self.profiler is not None:
+            # High-water events carry the occupancy at each crossing, and
+            # occupancy samples are per-operation; only the per-word path
+            # reproduces those exactly.
             return 0
         room = self.capacity - self.occupancy()
         take = min(room, len(words) - start)
@@ -142,6 +158,8 @@ class ReliableQueue(RawQueue):
         return take
 
     def pop_many(self, limit: int) -> list[int]:
+        if self.profiler is not None:
+            return []  # per-word path samples occupancy per operation
         take = min(limit, self.occupancy())
         if take <= 0:
             return []
@@ -197,6 +215,8 @@ class SoftwareQueue(RawQueue):
                 self._emit_high_water(occupancy)
         if self.wake_hub is not None:
             self.wake_hub.on_push(self.qid)
+        if self.profiler is not None:
+            self._profile_sample()
         return True
 
     def pop(self) -> int | None:
@@ -206,11 +226,13 @@ class SoftwareQueue(RawQueue):
         self.head = (self.head + 1) & WORD_MASK
         if self.wake_hub is not None:
             self.wake_hub.on_pop(self.qid)
+        if self.profiler is not None:
+            self._profile_sample()
         return word
 
     def push_many(self, words: list[int], start: int) -> int:
-        if self.tracer is not None:
-            return 0  # per-word path reproduces high-water event bytes
+        if self.tracer is not None or self.profiler is not None:
+            return 0  # per-word path reproduces events and samples exactly
         room = self.capacity - self.occupancy()
         take = min(room, len(words) - start)
         if take <= 0:
@@ -229,6 +251,8 @@ class SoftwareQueue(RawQueue):
         return take
 
     def pop_many(self, limit: int) -> list[int]:
+        if self.profiler is not None:
+            return []  # per-word path samples occupancy per operation
         # Corrupted pointers can make occupancy() astronomical; replaying
         # stale slots word by word is exactly what repeated pop() does.
         take = min(limit, self.occupancy())
@@ -255,3 +279,5 @@ class SoftwareQueue(RawQueue):
             self.tail = (self.tail ^ bit) & WORD_MASK
         if self.wake_hub is not None:
             self.wake_hub.on_corrupt(self.qid)
+        if self.profiler is not None:
+            self._profile_sample()

@@ -99,6 +99,7 @@ class LegacyScheduler:
     def run(self, system, threads, result) -> None:
         config = system.config
         tracer = system.tracer
+        profiler = system.profiler
         sweeps = 0
         stuck_sweeps = 0
         while not all(t.done for t in threads):
@@ -132,6 +133,12 @@ class LegacyScheduler:
                             tracer.emit(
                                 ForcedUnblock(thread=thread.node.name, sweep=sweeps)
                             )
+                        if profiler is not None:
+                            # Timeline mark at the thread's own simulated
+                            # clock — scheduler-invariant, unlike sweeps.
+                            profiler.mark(
+                                thread.node.name, "forced-unblock", thread.sim_now
+                            )
                 stuck_sweeps = 0
         result.sweeps = sweeps
 
@@ -154,12 +161,12 @@ class EventScheduler:
         for queue in queues:
             queue.wake_hub = hub
         try:
-            self._loop(config, tracer, threads, result, hub)
+            self._loop(config, tracer, system.profiler, threads, result, hub)
         finally:
             for queue in queues:
                 queue.wake_hub = None
 
-    def _loop(self, config, tracer, threads, result, hub) -> None:
+    def _loop(self, config, tracer, profiler, threads, result, hub) -> None:
         n = len(threads)
         live = sum(1 for t in threads if not t.done)
         sweeps = 0
@@ -210,6 +217,11 @@ class EventScheduler:
                         if tracer is not None:
                             tracer.emit(
                                 ForcedUnblock(thread=thread.node.name, sweep=sweeps)
+                            )
+                        if profiler is not None:
+                            # Same mark, same per-thread clock, as legacy.
+                            profiler.mark(
+                                thread.node.name, "forced-unblock", thread.sim_now
                             )
                 stuck_sweeps = 0
         result.sweeps = sweeps

@@ -102,6 +102,7 @@ class MulticoreSystem:
         cores: list[SimCore],
         config: SystemConfig,
         tracer=None,
+        profiler=None,
     ) -> None:
         self.program = program
         self.protection = protection
@@ -110,6 +111,10 @@ class MulticoreSystem:
         #: Optional structured-event sink shared by every module of the
         #: machine (``None`` disables tracing with zero overhead).
         self.tracer = tracer
+        #: Optional :class:`~repro.observability.profile.SimProfiler`
+        #: shared by threads and queues (``None`` disables the
+        #: simulated-time timeline with zero overhead).
+        self.profiler = profiler
         #: qid -> queue backend, for occupancy collection (set by build()).
         self._queues: dict[int, object] = {}
 
@@ -128,6 +133,7 @@ class MulticoreSystem:
         edge_frame_scales: dict[int, int] | None = None,
         tracer=None,
         fault_model: FaultModelSpec | str | None = None,
+        profiler=None,
     ) -> "MulticoreSystem":
         """Build a runnable machine.
 
@@ -140,6 +146,11 @@ class MulticoreSystem:
         ``fault_model`` selects the error process from the registry in
         :mod:`repro.machine.faults` (``None`` defers to
         ``system_config.fault_model``, itself defaulting to ``bit_flip``).
+        ``profiler`` is an optional
+        :class:`~repro.observability.profile.SimProfiler`; when given,
+        threads record simulated-time segments and queues sample their
+        occupancy into it (and, like tracing, the quiet-span and bulk
+        fast paths decline).  ``None`` keeps the hot paths untouched.
         """
         config = system_config or SystemConfig()
         cg_config = commguard_config or CommGuardConfig()
@@ -176,6 +187,7 @@ class MulticoreSystem:
                 )
                 guarded_queues[edge.qid] = queue = GuardedQueue(edge.qid, geometry)
                 queue.tracer = tracer
+                queue.profiler = profiler
             else:
                 capacity = (
                     max(2 * edge.push_rate, 2 * edge.pop_rate, items_per_frame, 64) + 4
@@ -188,6 +200,7 @@ class MulticoreSystem:
                 raw_queues[edge.qid] = raw = queue_cls(capacity)
                 raw.tracer = tracer
                 raw.qid = edge.qid
+                raw.profiler = profiler
 
         cores = [SimCore(core_id, injectors[core_id]) for core_id in range(config.n_cores)]
         all_queues: dict[int, object] = dict(guarded_queues or raw_queues)
@@ -232,9 +245,13 @@ class MulticoreSystem:
                 tracer=tracer,
                 batch_ops=config.batch_ops,
                 exec_mode=config.exec_mode,
+                profiler=profiler,
             )
+            if profiler is not None:
+                # Track order = build order, deterministic per program.
+                profiler.register_thread(node.name, thread.plan.describe())
             core.threads.append(thread)
-        system = cls(program, protection, cores, config, tracer=tracer)
+        system = cls(program, protection, cores, config, tracer=tracer, profiler=profiler)
         system._queues = all_queues
         return system
 
@@ -335,6 +352,7 @@ def run_program(
     error_model: ErrorModel | None = None,
     tracer=None,
     fault_model: FaultModelSpec | str | None = None,
+    profiler=None,
 ) -> RunResult:
     """Convenience wrapper: build a system and run it once.
 
@@ -343,7 +361,8 @@ def run_program(
     ``fault_model`` selects the error process (``name[:param=val,...]``;
     default ``bit_flip``) — when ``error_model`` is omitted, the model's
     calibrated mix at ``mtbe`` is used.  ``tracer`` optionally receives
-    structured events from every module.
+    structured events from every module; ``profiler`` optionally records
+    the simulated-time timeline (see :meth:`MulticoreSystem.build`).
     """
     fault = FaultModelSpec.coerce(
         fault_model
@@ -361,5 +380,6 @@ def run_program(
         system_config=system_config,
         tracer=tracer,
         fault_model=fault,
+        profiler=profiler,
     )
     return system.run()

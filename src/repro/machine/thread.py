@@ -216,6 +216,7 @@ class NodeThread:
         tracer=None,
         batch_ops: bool = True,
         exec_mode: str = "fast",
+        profiler=None,
     ) -> None:
         if exec_mode not in ("fast", "precise"):
             raise ValueError(
@@ -231,18 +232,29 @@ class NodeThread:
         self.frame_stall_cycles = frame_stall_cycles
         #: Optional structured-event sink (``None`` disables tracing).
         self.tracer = tracer
+        #: Optional :class:`~repro.observability.profile.SimProfiler`.
+        #: ``None`` disables the simulated-time timeline; with one
+        #: attached the thread keeps a monotone per-thread clock
+        #: (``sim_now``, in simulated cycles) and reports every firing /
+        #: quiet firing / blocked spin / frame stall as a segment.
+        self.profiler = profiler
+        #: Per-thread simulated clock; only advanced under a profiler.
+        self.sim_now = 0
         #: Credit-based batched firing: queue words that cannot block move
         #: in bulk (wall-clock only; results and trace bytes are invariant).
         #: Part of the fast machinery — ``exec_mode="precise"`` is the pure
         #: per-word oracle, so it forces the per-word transfer path too.
-        self.batch_ops = batch_ops and exec_mode == "fast"
+        #: Declines under a profiler so per-operation occupancy samples
+        #: are preserved (the same discipline as tracing).
+        self.batch_ops = batch_ops and exec_mode == "fast" and profiler is None
         self.exec_mode = exec_mode
         #: Precompiled steady-state firing shape (see repro.machine.plan).
         self.plan: FiringPlan = compile_plan(node)
         # Quiet-span fast path: whole firings outside the error horizon run
         # in bulk.  Disabled under a tracer so the per-word path reproduces
-        # event bytes exactly (the same discipline as batch_ops).
-        self._fast = exec_mode == "fast" and tracer is None
+        # event bytes exactly, and under a profiler so every firing is
+        # individually classified (the same discipline as batch_ops).
+        self._fast = exec_mode == "fast" and tracer is None and profiler is None
         self.counters = ThreadCounters()
         if isinstance(comm, GuardedCommPath):
             # Share the guard's stats object so aggregation sees both.
@@ -281,6 +293,10 @@ class NodeThread:
     def spin(self, instructions: int) -> None:
         """Account blocked-spinning time and its error exposure."""
         self.counters.spin_instructions += instructions
+        if self.profiler is not None:
+            self.sim_now = self.profiler.segment(
+                self.node.name, "blocked", self.sim_now, instructions
+            )
         for event in self.injector.advance(instructions):
             if event.kind is ErrorKind.ADDRESS:
                 self.comm.corrupt_management_state(self.injector.rng)
@@ -292,6 +308,10 @@ class NodeThread:
             self.comm.on_frame_start()
             self.counters.frame_computations += 1
             self.counters.stall_cycles += self.frame_stall_cycles
+            if self.profiler is not None and self.frame_stall_cycles:
+                self.sim_now = self.profiler.segment(
+                    self.node.name, "stall", self.sim_now, self.frame_stall_cycles
+                )
             while not self.comm.advance_frame_start():
                 if self._consume_force_unblock():
                     break
@@ -391,7 +411,8 @@ class NodeThread:
     def _fire(self) -> Iterator[None]:
         node = self.node
         cost = node.instruction_cost()
-        plan = self._plan_errors(self.injector.advance(cost))
+        events = self.injector.advance(cost)
+        plan = self._plan_errors(events)
         rng = self.injector.rng
 
         # 1. Pop inputs (with control-error count perturbations).
@@ -493,6 +514,18 @@ class NodeThread:
         self.counters.committed_instructions += cost
         self.counters.firings += 1
         self._timeout_mode = False
+        if self.profiler is not None:
+            # A firing that saw injector events is a "fire" segment; an
+            # event-free one is the per-word spelling of a quiet firing
+            # (the quiet-span fast path declines under a profiler, so
+            # this is where quiet time is accounted).
+            self.sim_now = self.profiler.segment(
+                node.name,
+                "fire" if events else "quiet",
+                self.sim_now,
+                cost,
+                errors=len(events),
+            )
 
     # -- error planning --------------------------------------------------------------
 

@@ -18,7 +18,17 @@ provides that visibility as a first-class layer:
 * :mod:`repro.observability.metrics` — :class:`MetricsRegistry`, labelled
   counters/gauges/histograms that :class:`~repro.machine.runstats.RunResult`
   aggregation is built on (per-core error counts, per-edge queue peaks,
-  per-thread alignment actions).
+  per-thread alignment actions); exportable to the Prometheus textfile
+  format via :meth:`MetricsRegistry.to_prometheus`.
+* :mod:`repro.observability.profile` — the deep-profiling layer:
+  :class:`SimProfiler` (deterministic simulated-time timelines: per-thread
+  fire/quiet/blocked/stall segments, per-queue occupancy series),
+  :class:`EngineProfiler` (nondeterministic wall-clock span tree for the
+  sweep engine) and :class:`ProfileSession` (the ``profile=`` argument of
+  :func:`repro.api.run` / :func:`repro.api.sweep`).
+* :mod:`repro.observability.export` — Chrome trace-event JSON for the
+  Perfetto UI (``repro profile``), rendering both profiler sides and raw
+  JSONL traces.
 
 Entry points: pass ``tracer=...`` to
 :func:`repro.machine.system.run_program` /
@@ -43,9 +53,19 @@ from repro.observability.events import (
     WorkerCrashed,
     event_from_dict,
 )
+from repro.observability.export import (
+    profile_to_chrome,
+    trace_to_chrome,
+    write_chrome_trace,
+)
 from repro.observability.metrics import (
     HistogramSummary,
     MetricsRegistry,
+)
+from repro.observability.profile import (
+    EngineProfiler,
+    ProfileSession,
+    SimProfiler,
 )
 from repro.observability.tracer import (
     InMemoryTracer,
@@ -58,6 +78,7 @@ from repro.observability.tracer import (
 
 __all__ = [
     "AlignmentAction",
+    "EngineProfiler",
     "ErrorInjected",
     "EVENT_KINDS",
     "ForcedUnblock",
@@ -66,16 +87,21 @@ __all__ = [
     "InMemoryTracer",
     "JsonlTracer",
     "MetricsRegistry",
+    "ProfileSession",
     "QMTimeout",
     "QueueHighWater",
     "RunFailed",
     "RunRetried",
+    "SimProfiler",
     "SweepProgress",
     "TraceEvent",
     "Tracer",
     "WorkerCrashed",
     "coerce_tracer",
     "event_from_dict",
+    "profile_to_chrome",
     "read_trace",
     "summarize_trace",
+    "trace_to_chrome",
+    "write_chrome_trace",
 ]

@@ -16,6 +16,10 @@ Counting contracts (relied on by tests and ``repro trace summary``):
 * ``QMTimeout`` events == ``CommGuardStats.timeouts``.
 * ``ForcedUnblock`` events == ``RunResult.forced_unblocks``.
 * ``HeaderInserted`` events == ``CommGuardStats.header_stores``.
+* The last ``SweepProgress`` event of a sweep mirrors its final
+  ``SweepStats``: ``completed``/``total``/``executed``/``cache_hits``/
+  ``failures`` equal ``SweepStats.completed``/``total``/``executed``/
+  ``cache_hits``/``failed``.
 
 Adding an event: subclass :class:`TraceEvent`, give it a unique ``kind``
 class attribute, register it in :data:`EVENT_KINDS`, emit it behind an
@@ -133,7 +137,12 @@ class QueueHighWater(TraceEvent):
 
 @dataclass(frozen=True, slots=True)
 class SweepProgress(TraceEvent):
-    """The parallel sweep engine completed one more run of a sweep."""
+    """The parallel sweep engine completed one more run of a sweep.
+
+    ``failures`` counts the sweep points that have exhausted their retry
+    budget so far (``SweepStats.failed``) — under keep-going mode a
+    trace alone shows whether a sweep is limping, without the report.
+    """
 
     kind: ClassVar[str] = "sweep-progress"
 
@@ -141,6 +150,7 @@ class SweepProgress(TraceEvent):
     total: int
     executed: int
     cache_hits: int
+    failures: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -171,6 +171,52 @@ class MetricsRegistry:
             },
         }
 
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        One ``# TYPE`` header per series; histogram summaries are
+        streaming (no buckets), so they export as ``_count`` / ``_sum``
+        plus ``_min`` / ``_max`` gauges.  Output is deterministically
+        sorted — suitable for the node-exporter textfile collector
+        (``repro sweep --metrics-out metrics.prom``).
+        """
+        lines: list[str] = []
+
+        def metric_name(name: str, suffix: str = "") -> str:
+            safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+            return f"{prefix}_{safe}{suffix}"
+
+        def escape(value: str) -> str:
+            return value.replace("\\", "\\\\").replace('"', '\\"')
+
+        def label_block(key: LabelKey) -> str:
+            if not key:
+                return ""
+            pairs = ",".join(f'{k}="{escape(v)}"' for k, v in key)
+            return "{" + pairs + "}"
+
+        for name, series in sorted(self._counters.items()):
+            full = metric_name(name)
+            lines.append(f"# TYPE {full} counter")
+            for key, value in sorted(series.items()):
+                lines.append(f"{full}{label_block(key)} {value}")
+        for name, series in sorted(self._gauges.items()):
+            full = metric_name(name)
+            lines.append(f"# TYPE {full} gauge")
+            for key, value in sorted(series.items()):
+                lines.append(f"{full}{label_block(key)} {value}")
+        for name, series in sorted(self._histograms.items()):
+            base = metric_name(name)
+            lines.append(f"# TYPE {base} summary")
+            for key, summary in sorted(series.items()):
+                block = label_block(key)
+                lines.append(f"{base}_count{block} {summary.count}")
+                lines.append(f"{base}_sum{block} {summary.total}")
+                if summary.count:
+                    lines.append(f"{base}_min{block} {summary.min}")
+                    lines.append(f"{base}_max{block} {summary.max}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Accumulate *other* into this registry (counters add, gauges take
         the max — they record high-water marks here — histograms combine)."""

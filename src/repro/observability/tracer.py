@@ -144,16 +144,22 @@ def read_trace(path: str | Path) -> Iterator[tuple[dict, TraceEvent]]:
 
 def summarize_trace(
     pairs: Iterable[tuple[dict, TraceEvent]],
+    dropped: int = 0,
 ) -> dict:
     """Aggregate a trace stream for ``repro trace summary``.
 
     Returns a dict with ``total``, ``by_kind`` (Counter), ``edges``
     (qid -> {"pads", "discards", "first_fc", "last_fc"}), ``errors``
-    (masked/unmasked counts) and ``duration`` (wall seconds between first
-    and last timestamped event, or ``None`` when untimestamped).
+    (masked/unmasked counts), ``high_water`` (qid -> {"crossings",
+    "watermark", "units"} from ``queue-high-water`` events), ``dropped``
+    (events a bounded :class:`InMemoryTracer` discarded — pass its
+    ``.dropped`` when summarizing one) and ``duration`` (wall seconds
+    between first and last timestamped event, or ``None`` when
+    untimestamped).
     """
     by_kind: Counter[str] = Counter()
     edges: dict[int, dict] = {}
+    high_water: dict[int, dict] = {}
     total = 0
     masked = unmasked = 0
     first_t = last_t = None
@@ -164,7 +170,14 @@ def summarize_trace(
             t = data["t"]
             first_t = t if first_t is None else first_t
             last_t = t
-        if isinstance(event, AlignmentAction):
+        if event.kind == "queue-high-water":
+            mark = high_water.setdefault(
+                event.qid, {"crossings": 0, "watermark": 0.0, "units": 0}
+            )
+            mark["crossings"] += 1
+            mark["watermark"] = max(mark["watermark"], event.watermark)
+            mark["units"] = max(mark["units"], event.units)
+        elif isinstance(event, AlignmentAction):
             edge = edges.setdefault(
                 event.qid,
                 {"pads": 0, "discards": 0, "first_fc": None, "last_fc": None},
@@ -189,5 +202,7 @@ def summarize_trace(
         "by_kind": by_kind,
         "edges": edges,
         "errors": {"masked": masked, "unmasked": unmasked},
+        "high_water": dict(sorted(high_water.items())),
+        "dropped": dropped,
         "duration": duration,
     }

@@ -343,3 +343,38 @@ class TestCacheIntegrity:
         (shard / "abandoned.tmp").write_text("{")
         assert cache.clear() == 0
         assert not shard.exists()
+
+
+class TestSweepProgressContract:
+    """The last ``sweep-progress`` event of a sweep mirrors its final
+    :class:`SweepStats` — the counting contract pinned in
+    :mod:`repro.observability.events`."""
+
+    def final_progress(self, runner, specs):
+        tracer = InMemoryTracer()
+        runner.tracer = tracer
+        runner.run_specs(specs)
+        return tracer.of_kind("sweep-progress")[-1]
+
+    def test_clean_sweep_reports_zero_failures(self):
+        runner = ParallelRunner(scale=SCALE, jobs=1)
+        last = self.final_progress(runner, specs_grid())
+        stats = runner.last_stats
+        assert (last.completed, last.total) == (stats.completed, stats.total)
+        assert last.executed == stats.executed
+        assert last.cache_hits == stats.cache_hits
+        assert last.failures == stats.failed == 0
+
+    def test_keep_going_failures_are_counted(self):
+        runner = ParallelRunner(
+            scale=SCALE, jobs=1, strict=False, fault_hook=hooks.always_fail
+        )
+        last = self.final_progress(runner, specs_grid())
+        stats = runner.last_stats
+        assert stats.failed == 1
+        assert last.failures == stats.failed
+        # completed counts successes only; the failed point is accounted
+        # in failures, so completed + failures covers the whole grid.
+        assert last.completed == stats.completed == last.total - 1
+        assert last.completed + last.failures == last.total
+        assert last.executed == stats.executed

@@ -1,0 +1,155 @@
+"""Tests for the Chrome trace-event (Perfetto) exporters."""
+
+import json
+
+from repro.observability.events import ErrorInjected, QMTimeout
+from repro.observability.export import (
+    ENGINE_PID,
+    SIM_PID,
+    TRACE_PID,
+    engine_to_chrome,
+    profile_to_chrome,
+    sim_to_chrome,
+    trace_to_chrome,
+    write_chrome_trace,
+)
+from repro.observability.profile import EngineProfiler, SimProfiler
+
+#: Every phase the trace-event spec allows in our documents.
+VALID_PHASES = {"X", "C", "i", "M"}
+
+
+def assert_valid_trace_events(events):
+    """Structural validation against the trace-event schema: the same
+    checks the CI profile-smoke job runs on an exported document."""
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in VALID_PHASES
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert isinstance(event["args"], dict)
+        if event["ph"] in ("X", "C", "i"):
+            assert isinstance(event["ts"], (int, float))
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], (int, float))
+            assert event["dur"] >= 0
+
+
+def small_sim():
+    sim = SimProfiler()
+    sim.register_thread("src", {"cost": 5})
+    sim.register_thread("sink")
+    now = sim.segment("src", "fire", 0, 10, errors=1)
+    sim.segment("src", "quiet", now, 20)
+    sim.mark("sink", "forced-unblock", 7)
+    sim.queue_sample(0, 3)
+    sim.queue_sample(0, 4)
+    return sim
+
+
+class TestSimExport:
+    def test_events_are_schema_valid(self):
+        assert_valid_trace_events(sim_to_chrome(small_sim()))
+
+    def test_tracks_follow_registration_order(self):
+        events = sim_to_chrome(small_sim())
+        thread_meta = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert [m["args"]["name"] for m in thread_meta] == ["src", "sink"]
+
+    def test_segments_become_complete_events(self):
+        events = sim_to_chrome(small_sim())
+        fires = [e for e in events if e["ph"] == "X" and e["name"] == "fire"]
+        assert fires == [
+            {
+                "name": "fire", "ph": "X", "pid": SIM_PID, "tid": 1,
+                "ts": 0, "dur": 10, "args": {"count": 1, "errors": 1},
+            }
+        ]
+
+    def test_queue_series_become_counters(self):
+        events = sim_to_chrome(small_sim())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["occupancy"] for c in counters] == [3, 4]
+        assert all(c["name"] == "queue 0 occupancy" for c in counters)
+
+    def test_marks_become_instants(self):
+        events = sim_to_chrome(small_sim())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "forced-unblock"
+        assert instants[0]["ts"] == 7
+
+
+class TestEngineExport:
+    def test_span_tree_flattens_with_microsecond_timestamps(self):
+        engine = EngineProfiler()
+        with engine.span("sweep", points=4):
+            engine.record("run", 0.5, app="fft")
+        engine.event("cache-hit", app="fft")
+        events = engine_to_chrome(engine)
+        assert_valid_trace_events(events)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["sweep", "run"]
+        run = spans[1]
+        assert run["pid"] == ENGINE_PID
+        assert abs(run["dur"] - 0.5e6) < 1e3  # 0.5s in µs
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "cache-hit"
+
+
+class TestProfileDocument:
+    def test_combines_both_sides(self):
+        engine = EngineProfiler()
+        with engine.span("run"):
+            pass
+        doc = profile_to_chrome(sim=small_sim(), engine=engine)
+        assert doc["displayTimeUnit"] == "ms"
+        assert_valid_trace_events(doc["traceEvents"])
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {SIM_PID, ENGINE_PID}
+
+    def test_sides_are_optional(self):
+        assert profile_to_chrome()["traceEvents"] == []
+        only_sim = profile_to_chrome(sim=small_sim())
+        assert {e["pid"] for e in only_sim["traceEvents"]} == {SIM_PID}
+
+
+class TestTraceExport:
+    def test_pairs_render_as_per_kind_instants(self):
+        pairs = [
+            ({"kind": "qm-timeout", "seq": 4}, QMTimeout(thread="sink")),
+            (
+                {"kind": "error-injected", "seq": 9},
+                ErrorInjected(core=0, at_instruction=5, effect=None, masked=True),
+            ),
+            ({"kind": "qm-timeout", "seq": 11}, QMTimeout(thread="sink")),
+        ]
+        doc = trace_to_chrome(pairs)
+        assert_valid_trace_events(doc["traceEvents"])
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [i["ts"] for i in instants] == [4, 9, 11]
+        assert all(i["pid"] == TRACE_PID for i in instants)
+        # Both qm-timeout instants share one track.
+        assert instants[0]["tid"] == instants[2]["tid"] != instants[1]["tid"]
+
+    def test_missing_seq_falls_back_to_index(self):
+        pairs = [({"kind": "qm-timeout"}, QMTimeout(thread="sink"))]
+        (instant,) = [
+            e for e in trace_to_chrome(pairs)["traceEvents"] if e["ph"] == "i"
+        ]
+        assert instant["ts"] == 0
+
+
+class TestWriter:
+    def test_canonical_bytes(self, tmp_path):
+        path = tmp_path / "profile.json"
+        write_chrome_trace(path, profile_to_chrome(sim=small_sim()))
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        doc = json.loads(raw)
+        assert raw == (
+            json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode()

@@ -84,6 +84,99 @@ class TestHistograms:
         }
         assert math.isnan(HistogramSummary().mean)
 
+    def test_single_sample_summary_degenerates_to_the_sample(self):
+        reg = MetricsRegistry()
+        reg.observe("latency", 7.5, edge="q0")
+        summary = reg.histogram("latency", edge="q0")
+        assert summary.count == 1
+        assert summary.min == summary.max == summary.mean == 7.5
+        assert summary.to_dict()["mean"] == 7.5
+
+    def test_empty_histogram_snapshot_round_trips(self):
+        # A series touched only through merge of an empty registry keeps
+        # the sentinel bounds internally but snapshots them as None.
+        reg = MetricsRegistry()
+        reg._histograms["lat"] = {(): HistogramSummary()}
+        snapshot = reg.as_dict()["histograms"]["lat"][""]
+        assert snapshot == {
+            "count": 0, "total": 0.0, "min": None, "max": None, "mean": None,
+        }
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_label_order_deterministic_under_interleaved_writes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("runs", app="fft", seed=1)
+        a.observe("wall", 1.0, seed=1, app="fft")
+        a.observe("wall", 3.0, app="fft", seed=1)
+        b.observe("wall", 3.0, app="fft", seed=1)
+        b.inc("runs", seed=1, app="fft")
+        b.observe("wall", 1.0, seed=1, app="fft")
+        assert json.dumps(a.as_dict()) == json.dumps(b.as_dict())
+        assert a.histogram("wall", app="fft", seed=1).count == 2
+
+
+class TestPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_counters_gauges_histograms_render_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("sweep_runs_executed", 3, app="fft")
+        reg.inc("sweep_runs_executed", 1, app="dct")
+        reg.set_gauge("queue_peak_units", 12, qid=0)
+        reg.observe("run_wall", 2.0, app="fft")
+        reg.observe("run_wall", 4.0, app="fft")
+        assert reg.to_prometheus() == (
+            "# TYPE repro_sweep_runs_executed counter\n"
+            'repro_sweep_runs_executed{app="dct"} 1\n'
+            'repro_sweep_runs_executed{app="fft"} 3\n'
+            "# TYPE repro_queue_peak_units gauge\n"
+            'repro_queue_peak_units{qid="0"} 12\n'
+            "# TYPE repro_run_wall summary\n"
+            'repro_run_wall_count{app="fft"} 2\n'
+            'repro_run_wall_sum{app="fft"} 6.0\n'
+            'repro_run_wall_min{app="fft"} 2.0\n'
+            'repro_run_wall_max{app="fft"} 4.0\n'
+        )
+
+    def test_unlabelled_series_have_no_brace_block(self):
+        reg = MetricsRegistry()
+        reg.inc("total")
+        assert "repro_total 1" in reg.to_prometheus().splitlines()
+
+    def test_empty_histogram_skips_min_max(self):
+        reg = MetricsRegistry()
+        reg._histograms["lat"] = {(): HistogramSummary()}
+        text = reg.to_prometheus()
+        assert "repro_lat_count 0" in text
+        assert "_min" not in text and "_max" not in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", model='say "hi"\\now')
+        line = reg.to_prometheus().splitlines()[1]
+        assert line == 'repro_runs{model="say \\"hi\\"\\\\now"} 1'
+
+    def test_metric_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.inc("sweep-runs.executed")
+        assert "# TYPE repro_sweep_runs_executed counter" in reg.to_prometheus()
+
+    def test_prefix_is_configurable(self):
+        reg = MetricsRegistry()
+        reg.inc("runs")
+        assert reg.to_prometheus(prefix="commguard").startswith(
+            "# TYPE commguard_runs counter"
+        )
+
+    def test_output_is_write_order_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("runs", app="fft")
+        a.inc("crashes")
+        b.inc("crashes")
+        b.inc("runs", app="fft")
+        assert a.to_prometheus() == b.to_prometheus()
+
 
 class TestSnapshots:
     def test_names_sorted_by_type(self):
